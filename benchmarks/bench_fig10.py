@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 10: community-size CDF and the k parameter sweep."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import exp_fig10
+
+
+def test_fig10a_community_size_cdf(benchmark, bench_workload):
+    result = run_once(benchmark, exp_fig10.run_size_cdf, workload=bench_workload)
+    values = [row["CDF"] for row in result.rows]
+    assert values == sorted(values)
+    assert values[-1] == 1.0
+    # Figure 10a shape: the vast majority of local communities are small.
+    by_point = {row["Community size <="]: row["CDF"] for row in result.rows}
+    assert by_point[32] > 0.9
+    print("\n" + result.to_text())
+
+
+def test_fig10b_k_sweep(benchmark, bench_workload):
+    result = run_once(
+        benchmark,
+        exp_fig10.run_k_sweep,
+        workload=bench_workload,
+        k_values=(5, 20, 40),
+        cnn_epochs=10,
+        seed=1,
+    )
+    scores = {row["k"]: row["Overall F1-score"] for row in result.rows}
+    assert set(scores) == {5, 20, 40}
+    assert all(0.0 <= score <= 1.0 for score in scores.values())
+    print("\n" + result.to_text())

@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 11: F1 vs percentage of labeled edges."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import exp_fig11
+
+
+def test_fig11_label_fraction_sweep(benchmark, bench_workload):
+    result = run_once(
+        benchmark,
+        exp_fig11.run,
+        workload=bench_workload,
+        label_fractions=(0.05, 0.4, 0.8),
+        cnn_epochs=10,
+        seed=1,
+    )
+    by_key = {(row["Labeled %"], row["Algorithm"]): row["Overall F1"] for row in result.rows}
+
+    # Figure 11 shape #1: ProbWP collapses at 5 % labels but recovers with more.
+    assert by_key[(5, "ProbWP")] < by_key[(80, "ProbWP")]
+    # Figure 11 shape #2: the best LoCEC variant beats ProbWP at every fraction.
+    for percent in (5, 40, 80):
+        best_locec = max(by_key[(percent, "LoCEC-CNN")], by_key[(percent, "LoCEC-XGB")])
+        assert best_locec >= by_key[(percent, "ProbWP")] - 0.02
+    # Figure 11 shape #3: supervised LoCEC beats ProbWP by a wide margin at 5 %.
+    best_locec_5 = max(by_key[(5, "LoCEC-CNN")], by_key[(5, "LoCEC-XGB")])
+    assert best_locec_5 > by_key[(5, "ProbWP")] + 0.1
+    print("\n" + result.to_text())

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 12: scalability (projected and locally measured)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import exp_fig12
+
+
+def test_fig12_projected_scalability(benchmark):
+    result = run_once(benchmark, exp_fig12.run)
+    panel_a = [row["Total (h)"] for row in result.rows if row["Panel"] == "a"]
+    panel_b = [row["Total (h)"] for row in result.rows if row["Panel"] == "b"]
+    # Figure 12 shape: linear growth with input nodes, shrinkage with servers.
+    assert panel_a == sorted(panel_a)
+    assert panel_b == sorted(panel_b, reverse=True)
+    assert panel_a[-1] > 1.8 * panel_a[-2]
+    print("\n" + result.to_text())
+
+
+def test_fig12_measured_worker_scaling(benchmark, bench_workload):
+    result = run_once(
+        benchmark,
+        exp_fig12.run_measured,
+        bench_workload,
+        worker_counts=(1, 2, 4),
+        max_egos=80,
+    )
+    makespans = [row["Phase I makespan (s)"] for row in result.rows]
+    # More shards → the slowest shard gets smaller (or at least no larger).
+    assert makespans[-1] <= makespans[0] * 1.1
+    print("\n" + result.to_text())

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 13: predicted type distributions at network level."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_CNN_EPOCHS, run_once
+from repro.experiments import exp_fig13
+
+
+def test_fig13_type_distributions(benchmark, bench_workload):
+    result = run_once(
+        benchmark,
+        exp_fig13.run,
+        workload=bench_workload,
+        cnn_epochs=BENCH_CNN_EPOCHS,
+        seed=1,
+    )
+    shares = {
+        (row["Level"], row["Type"]): row["Share"] for row in result.rows
+    }
+    community_total = sum(v for (level, _), v in shares.items() if level == "community")
+    edge_total = sum(v for (level, _), v in shares.items() if level == "relationship")
+    assert abs(community_total - 1.0) < 1e-6
+    assert abs(edge_total - 1.0) < 1e-6
+    # Figure 13 shape: colleagues and family members dominate at both levels,
+    # with colleagues the single largest relationship-level share.
+    assert shares[("relationship", "Colleague")] >= shares[("relationship", "Schoolmates")]
+    assert (
+        shares[("community", "Colleague")] + shares[("community", "Family Members")]
+        > 0.5
+    )
+    print("\n" + result.to_text())

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 14: social-advertising click and interact rates."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import exp_fig14
+
+
+def test_fig14_social_advertising(benchmark, bench_workload):
+    # Ground-truth labels are used for targeting to keep the benchmark focused
+    # on the advertising simulation itself (the LoCEC-CNN-predicted variant is
+    # exercised by the fig13 benchmark and the examples).
+    result = run_once(
+        benchmark,
+        exp_fig14.run,
+        workload=bench_workload,
+        use_predicted_labels=False,
+        num_seeds=30,
+        audience_size=25,
+        seed=1,
+    )
+    by_key = {
+        (row["Ad Category"], row["Policy"]): row for row in result.rows
+    }
+    # Figure 14 shape: LoCEC targeting matches or beats Relation on click rate
+    # and beats it on interact rate for both ad categories.
+    for category in ("furniture", "mobile_game"):
+        locec = by_key[(category, "LoCEC-CNN")]
+        relation = by_key[(category, "Relation")]
+        assert locec["Click Rate (%)"] >= relation["Click Rate (%)"] * 0.9
+        assert locec["Interact Rate (%)"] >= relation["Interact Rate (%)"]
+    print("\n" + result.to_text())

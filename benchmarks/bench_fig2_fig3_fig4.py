@@ -1,0 +1,39 @@
+"""Benchmarks regenerating the Section II analyses: Figures 2, 3 and 4."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import exp_fig2, exp_fig3, exp_fig4
+
+
+def test_fig2_common_group_cdf(benchmark, bench_workload):
+    result = run_once(benchmark, exp_fig2.run, workload=bench_workload)
+    zero_row = result.rows[0]
+    # Figure 2 shape: family pairs share the fewest common groups, colleagues the most.
+    assert zero_row["Family members"] > zero_row["Colleagues"]
+    last_row = result.rows[-1]
+    assert last_row["Colleagues"] > 0.95
+    print("\n" + result.to_text())
+
+
+def test_fig3_moments_interaction_rates(benchmark, bench_workload):
+    result = run_once(benchmark, exp_fig3.run, workload=bench_workload)
+    like_rows = {
+        row["Relationship"]: row for row in result.rows if row["Behaviour"] == "like"
+    }
+    # Figure 3 shape: pictures dominate; schoolmates lead on games; colleagues
+    # like articles more than family members do.
+    for row in like_rows.values():
+        assert row["Pictures"] >= row["Games"]
+    assert like_rows["Schoolmates"]["Games"] > like_rows["Colleague"]["Games"]
+    assert like_rows["Colleague"]["Articles"] > like_rows["Family Members"]["Articles"]
+    print("\n" + result.to_text())
+
+
+def test_fig4_interaction_cdf(benchmark, bench_workload):
+    result = run_once(benchmark, exp_fig4.run, workload=bench_workload)
+    zero_row = result.rows[0]
+    # Figure 4 shape: a large silent mass at zero for every type (~0.5–0.7).
+    for column in ("Family members", "Colleagues", "Schoolmates"):
+        assert 0.4 <= zero_row[column] <= 0.8
+    print("\n" + result.to_text())

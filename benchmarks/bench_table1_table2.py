@@ -1,0 +1,29 @@
+"""Benchmarks regenerating Table I (survey ratios) and Table II (group-name rules)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import exp_table1, exp_table2
+from repro.types import RelationType
+
+
+def test_table1_survey_ratios(benchmark, bench_workload):
+    result = run_once(benchmark, exp_table1.run, workload=bench_workload)
+    first_ratios = {row["First Category"]: row["First Ratio"] for row in result.rows}
+    # Table I shape: colleagues > family > schoolmates.
+    assert first_ratios["Colleague"] > first_ratios["Family Members"]
+    assert first_ratios["Family Members"] > first_ratios["Schoolmates"]
+    print("\n" + result.to_text())
+
+
+def test_table2_group_name_rules(benchmark, bench_workload):
+    result = run_once(benchmark, exp_table2.run, workload=bench_workload)
+    rows = {row["Relationship Type"]: row for row in result.rows}
+    # Table II shape: very low recall for every type; high precision whenever
+    # the rule fires at all.
+    for relation in RelationType.classification_targets():
+        row = rows[relation.display_name]
+        assert row["Recall"] < 0.5
+        if row["Precision"] > 0:
+            assert row["Precision"] > 0.6
+    print("\n" + result.to_text())

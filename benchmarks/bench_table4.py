@@ -1,0 +1,31 @@
+"""Benchmark regenerating Table IV: edge classification for all five methods."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_CNN_EPOCHS, run_once
+from repro.experiments import exp_table4
+from repro.experiments.common import EDGE_METHODS
+
+
+def test_table4_relationship_classification(benchmark, bench_workload):
+    result = run_once(
+        benchmark,
+        exp_table4.run,
+        workload=bench_workload,
+        cnn_epochs=BENCH_CNN_EPOCHS,
+        seed=1,
+    )
+    overall = {
+        row["Algorithm"]: row["F1-score"]
+        for row in result.rows
+        if row["Community Type"] == "Overall"
+    }
+    assert set(overall) == set(EDGE_METHODS)
+    # Table IV headline shape: the LoCEC variants beat every baseline, and the
+    # raw-feature XGBoost baseline is the weakest supervised method.
+    best_locec = max(overall["LoCEC-CNN"], overall["LoCEC-XGB"])
+    assert best_locec > overall["ProbWP"]
+    assert best_locec > overall["Economix"]
+    assert best_locec > overall["XGBoost"]
+    assert overall["LoCEC-XGB"] > overall["XGBoost"]
+    print("\n" + result.to_text())

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Table V: local community classification."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_CNN_EPOCHS, run_once
+from repro.experiments import exp_table5
+
+
+def test_table5_community_classification(benchmark, bench_workload):
+    result = run_once(
+        benchmark,
+        exp_table5.run,
+        workload=bench_workload,
+        cnn_epochs=max(BENCH_CNN_EPOCHS, 45),
+        seed=1,
+    )
+    overall = {
+        row["Algorithm"]: row["F1-score"]
+        for row in result.rows
+        if row["Community Type"] == "Overall"
+    }
+    # Both community classifiers must clearly beat a random 3-class guess
+    # (chance is ~0.33 on three balanced classes).
+    assert overall["LoCEC-XGB"] > 0.5
+    assert overall["LoCEC-CNN"] > 0.45
+    print("\n" + result.to_text())

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Table VI: projected WeChat-scale running time."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import exp_table6
+
+
+def test_table6_projected_runtime(benchmark):
+    result = run_once(benchmark, exp_table6.run)
+    row = result.rows[0]
+    # With the paper-derived calibration the projection reproduces Table VI.
+    assert row["Phase I"] == pytest.approx(46.5, rel=0.02)
+    assert row["Total"] == pytest.approx(73.7, rel=0.02)
+    print("\n" + result.to_text())
+
+
+def test_table6_locally_calibrated(benchmark, bench_workload):
+    result = run_once(
+        benchmark,
+        exp_table6.run,
+        workload=bench_workload,
+        calibrate_from_measurement=True,
+        max_egos=60,
+    )
+    row = result.rows[0]
+    # Locally calibrated projection must preserve the phase ordering
+    # (Phase I dominates, Phase III is the cheapest per-pass phase).
+    assert row["Phase I"] > row["Phase III"]
+    print("\n" + result.to_text())

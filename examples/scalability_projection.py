@@ -1,0 +1,63 @@
+"""Scalability study: from locally measured per-node costs to WeChat scale.
+
+Reproduces the Table VI / Figure 12 methodology:
+
+1. measure the three LoCEC phases on a real (synthetic) network on this
+   machine,
+2. calibrate the per-item cost model from those measurements,
+3. project the run time of the full WeChat workload (10⁹ nodes, 1.4·10¹¹
+   edges) on clusters of different sizes, and
+4. print the paper-calibrated Table VI for comparison.
+
+Run with::
+
+    python examples/scalability_projection.py
+"""
+
+from __future__ import annotations
+
+from repro.runtime import (
+    ClusterSpec,
+    CostModel,
+    ScalabilityStudy,
+    WorkloadSpec,
+    measure_phases,
+)
+from repro.synthetic import make_workload
+
+
+def main() -> None:
+    workload = make_workload("small", seed=1)
+    print("measuring per-phase costs on the local synthetic network ...")
+    measured = measure_phases(workload.dataset, max_egos=150)
+    print(
+        f"  Phase I   {measured.phase1_seconds:7.2f}s over {measured.num_nodes} ego networks\n"
+        f"  Phase II  {measured.phase2_seconds:7.2f}s over {measured.num_communities} communities\n"
+        f"  Phase III {measured.phase3_seconds:7.2f}s over {measured.num_edges} edges"
+    )
+
+    local_model = CostModel(measured.to_calibration())
+    wechat = WorkloadSpec()
+    print("\nProjection to the full WeChat network (locally calibrated costs):")
+    print(f"{'Servers':>8} {'Phase I (h)':>12} {'Phase II (h)':>13} {'Phase III (h)':>14} {'Total (h)':>10}")
+    for servers in (50, 100, 200):
+        estimate = local_model.estimate(
+            wechat, ClusterSpec(num_servers=servers), include_training=False
+        )
+        print(
+            f"{servers:>8} {estimate.phase1_hours:>12.1f} {estimate.phase2_hours:>13.1f} "
+            f"{estimate.phase3_hours:>14.1f} {estimate.total_hours:>10.1f}"
+        )
+
+    print("\nTable VI with the paper-derived calibration (100 servers):")
+    estimate = ScalabilityStudy().table6()
+    for name, value in estimate.as_row().items():
+        print(f"  {name:<10} {value:>6.1f} h")
+    print(
+        "\nNote how Phase I (local community detection) dominates in both "
+        "calibrations — the same conclusion the paper draws."
+    )
+
+
+if __name__ == "__main__":
+    main()

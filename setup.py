@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` keeps working on offline machines whose
+setuptools/pip lack PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

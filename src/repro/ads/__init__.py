@@ -1,0 +1,12 @@
+"""Social-advertising application of LoCEC's edge labels (Figure 14)."""
+
+from repro.ads.campaign import AdCategory, Campaign, CtrModel
+from repro.ads.simulator import AdSimulator, CampaignOutcome
+
+__all__ = [
+    "AdCategory",
+    "Campaign",
+    "CtrModel",
+    "AdSimulator",
+    "CampaignOutcome",
+]

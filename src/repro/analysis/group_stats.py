@@ -1,0 +1,50 @@
+"""Chat-group analyses: Figure 2 (common-group CDF) and Table II inputs."""
+
+from __future__ import annotations
+
+from repro.analysis.cdf import empirical_cdf
+from repro.synthetic.groups import GroupCollection
+from repro.types import Edge, RelationType, canonical_edge
+
+
+def common_groups_per_pair(
+    groups: GroupCollection, edge_types: dict[Edge, RelationType]
+) -> dict[RelationType, list[int]]:
+    """Number of common chat groups for every friend pair, bucketed by type.
+
+    Pairs that share no group contribute a zero, which is what produces the
+    large mass at 0 in Figure 2 (e.g. >30 % of family pairs share no group).
+    """
+    counts = groups.common_group_counts()
+    per_type: dict[RelationType, list[int]] = {
+        relation: [] for relation in RelationType.classification_targets()
+    }
+    for edge, relation in edge_types.items():
+        if relation not in per_type:
+            continue
+        per_type[relation].append(counts.get(canonical_edge(*edge), 0))
+    return per_type
+
+
+def common_group_cdf(
+    groups: GroupCollection,
+    edge_types: dict[Edge, RelationType],
+    points: list[int] = (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+) -> dict[RelationType, list[float]]:
+    """Figure 2: CDF of the number of common groups per relationship type."""
+    per_type = common_groups_per_pair(groups, edge_types)
+    return {
+        relation: empirical_cdf(values, list(points))
+        for relation, values in per_type.items()
+    }
+
+
+def pairs_with_no_common_group(
+    groups: GroupCollection, edge_types: dict[Edge, RelationType]
+) -> dict[RelationType, float]:
+    """Fraction of pairs of each type that share no chat group."""
+    per_type = common_groups_per_pair(groups, edge_types)
+    return {
+        relation: (sum(1 for value in values if value == 0) / len(values) if values else 0.0)
+        for relation, values in per_type.items()
+    }

@@ -1,0 +1,83 @@
+"""Moments interaction analyses: Figure 3 (like/comment rates) and Figure 4 (CDF)."""
+
+from __future__ import annotations
+
+from repro.analysis.cdf import empirical_cdf
+from repro.graph.interactions import InteractionStore
+from repro.types import Edge, MomentsCategory, RelationType
+
+
+def interaction_rate_by_category(
+    interactions: InteractionStore,
+    edge_types: dict[Edge, RelationType],
+    behaviour: str = "like",
+) -> dict[RelationType, dict[MomentsCategory, float]]:
+    """Figure 3: fraction of pairs of each type that interacted per Moments category.
+
+    Parameters
+    ----------
+    behaviour:
+        ``"like"`` (Figure 3a) or ``"comment"`` (Figure 3b).
+    """
+    if behaviour not in {"like", "comment"}:
+        raise ValueError("behaviour must be 'like' or 'comment'")
+    totals: dict[RelationType, int] = {
+        relation: 0 for relation in RelationType.classification_targets()
+    }
+    hits: dict[RelationType, dict[MomentsCategory, int]] = {
+        relation: {category: 0 for category in MomentsCategory}
+        for relation in RelationType.classification_targets()
+    }
+    for (u, v), relation in edge_types.items():
+        if relation not in totals:
+            continue
+        totals[relation] += 1
+        for category in MomentsCategory:
+            dim = category.like_dim if behaviour == "like" else category.comment_dim
+            if interactions.get(u, v, dim) > 0:
+                hits[relation][category] += 1
+    return {
+        relation: {
+            category: (hits[relation][category] / totals[relation] if totals[relation] else 0.0)
+            for category in MomentsCategory
+        }
+        for relation in totals
+    }
+
+
+def total_interactions_per_pair(
+    interactions: InteractionStore, edge_types: dict[Edge, RelationType]
+) -> dict[RelationType, list[float]]:
+    """Total Moments+message interaction count of every pair, bucketed by type."""
+    per_type: dict[RelationType, list[float]] = {
+        relation: [] for relation in RelationType.classification_targets()
+    }
+    for (u, v), relation in edge_types.items():
+        if relation not in per_type:
+            continue
+        per_type[relation].append(interactions.total(u, v))
+    return per_type
+
+
+def interaction_count_cdf(
+    interactions: InteractionStore,
+    edge_types: dict[Edge, RelationType],
+    points: list[int] = (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+) -> dict[RelationType, list[float]]:
+    """Figure 4: CDF of the number of interactions per relationship type."""
+    per_type = total_interactions_per_pair(interactions, edge_types)
+    return {
+        relation: empirical_cdf(values, list(points))
+        for relation, values in per_type.items()
+    }
+
+
+def silent_pair_fraction(
+    interactions: InteractionStore, edge_types: dict[Edge, RelationType]
+) -> dict[RelationType, float]:
+    """Fraction of pairs of each type with zero interactions (the sparsity headline)."""
+    per_type = total_interactions_per_pair(interactions, edge_types)
+    return {
+        relation: (sum(1 for value in values if value == 0) / len(values) if values else 0.0)
+        for relation, values in per_type.items()
+    }

@@ -1,0 +1,22 @@
+"""Comparative methods implemented alongside LoCEC."""
+
+from repro.baselines.economix import Economix
+from repro.baselines.group_name_rules import (
+    GroupNamePrediction,
+    GroupNameRuleClassifier,
+    classify_group_name,
+)
+from repro.baselines.probwp import ProbWP
+from repro.baselines.relation_targeting import relation_targeting, type_aware_targeting
+from repro.baselines.xgboost_edge import XGBoostEdgeClassifier
+
+__all__ = [
+    "ProbWP",
+    "Economix",
+    "XGBoostEdgeClassifier",
+    "GroupNameRuleClassifier",
+    "GroupNamePrediction",
+    "classify_group_name",
+    "relation_targeting",
+    "type_aware_targeting",
+]

@@ -1,0 +1,149 @@
+"""Economix baseline — matrix factorisation over edge content and structure
+(Aggarwal et al., ICDE 2017).
+
+The original method treats every edge as a *document* whose words come from
+the textual content exchanged on that edge, and factorises the edge × word
+matrix jointly with structural information to propagate labels.  Following
+the paper's adaptation ("we consider each interaction together with the
+number of interaction times as a word"), our edge documents are built from
+interaction-dimension tokens, and the structural signal is added as
+neighbourhood-overlap features:
+
+1. Build the edge × token count matrix (tokens = interaction dimensions,
+   binned counts, plus coarse structural buckets).
+2. Factorise it with a truncated SVD into ``rank`` latent factors.
+3. Train a multinomial logistic-regression model on the latent factors of the
+   labeled edges and predict the rest.
+
+This keeps the defining characteristics of Economix — it exploits both
+content and structure, benefits from more labels, and outperforms the plain
+feature-vector XGBoost baseline when interactions are sparse — at prototype
+scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, PipelineError
+from repro.graph.graph import Graph
+from repro.graph.interactions import InteractionStore
+from repro.graph.metrics import jaccard_similarity
+from repro.ml.logistic import LogisticRegression
+from repro.types import Edge, LabeledEdge, RelationType
+
+
+class Economix:
+    """Matrix-factorisation edge classifier over interaction "documents".
+
+    Parameters
+    ----------
+    rank:
+        Number of latent factors kept from the SVD.
+    count_bins:
+        Interaction counts are tokenised into this many logarithmic bins.
+    lr_iterations:
+        Training iterations of the logistic-regression head.
+    seed:
+        Seed of the logistic-regression initialisation.
+    """
+
+    def __init__(
+        self,
+        rank: int = 16,
+        count_bins: int = 4,
+        lr_iterations: int = 300,
+        seed: int = 0,
+    ) -> None:
+        if rank < 1 or count_bins < 1:
+            raise PipelineError("rank and count_bins must be positive")
+        self.rank = rank
+        self.count_bins = count_bins
+        self.lr_iterations = lr_iterations
+        self.seed = seed
+        self._graph: Graph | None = None
+        self._interactions: InteractionStore | None = None
+        self._components: np.ndarray | None = None
+        self._model: LogisticRegression | None = None
+
+    # --------------------------------------------------------------------- fit
+    def fit(
+        self,
+        graph: Graph,
+        interactions: InteractionStore,
+        labeled_edges: list[LabeledEdge],
+    ) -> "Economix":
+        """Factorise the edge-document matrix and train the label model."""
+        if not labeled_edges:
+            raise PipelineError("Economix requires at least one labeled edge")
+        self._graph = graph
+        self._interactions = interactions
+
+        train_edges = [item.edge for item in labeled_edges]
+        labels = np.array([int(item.label) for item in labeled_edges])
+
+        documents = self._edge_documents(train_edges)
+        # Truncated SVD of the (centred) document matrix gives the latent basis.
+        mean = documents.mean(axis=0)
+        centered = documents - mean
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        rank = min(self.rank, vt.shape[0])
+        self._components = vt[:rank]
+        self._document_mean = mean
+
+        latent = centered @ self._components.T
+        self._model = LogisticRegression(
+            num_iterations=self.lr_iterations,
+            num_classes=len(RelationType.classification_targets()),
+            seed=self.seed,
+        )
+        self._model.fit(latent, labels)
+        return self
+
+    # --------------------------------------------------------------- documents
+    def _edge_documents(self, edges: list[Edge]) -> np.ndarray:
+        """Token-count matrix of edge "documents" (interactions + structure)."""
+        assert self._graph is not None and self._interactions is not None
+        num_dims = self._interactions.num_dims
+        # Token layout: interaction-count bins, Jaccard-overlap buckets,
+        # common-neighbour buckets, endpoint-degree buckets.
+        num_tokens = num_dims * self.count_bins + 4 + 5 + 4
+        matrix = np.zeros((len(edges), num_tokens), dtype=np.float64)
+        for row, (u, v) in enumerate(edges):
+            vector = self._interactions.vector(u, v)
+            for dim in range(num_dims):
+                count = vector[dim]
+                if count <= 0:
+                    continue
+                bin_index = min(int(np.log2(count + 1)), self.count_bins - 1)
+                matrix[row, dim * self.count_bins + bin_index] += 1.0
+            # Structural tokens: neighbourhood overlap, shared neighbours and
+            # degree scale — the "structure" half of the Economix factorisation.
+            offset = num_dims * self.count_bins
+            if u in self._graph and v in self._graph:
+                overlap = jaccard_similarity(self._graph, u, v)
+                common = len(
+                    self._graph.neighbors(u) & self._graph.neighbors(v)
+                )
+                degree_sum = self._graph.degree(u) + self._graph.degree(v)
+            else:
+                overlap, common, degree_sum = 0.0, 0, 0
+            matrix[row, offset + min(int(overlap * 4), 3)] += 1.0
+            common_bucket = min(int(np.log2(common + 1)), 4)
+            matrix[row, offset + 4 + common_bucket] += 1.0
+            degree_bucket = min(int(np.log2(degree_sum + 1)) // 2, 3)
+            matrix[row, offset + 9 + degree_bucket] += 1.0
+        return matrix
+
+    # --------------------------------------------------------------- inference
+    def predict_proba(self, edges: list[Edge]) -> np.ndarray:
+        if self._model is None or self._components is None:
+            raise NotFittedError(self)
+        documents = self._edge_documents(edges)
+        latent = (documents - self._document_mean) @ self._components.T
+        return self._model.predict_proba(latent)
+
+    def predict(self, edges: list[Edge]) -> list[RelationType]:
+        """Predicted relationship type for each edge."""
+        probabilities = self.predict_proba(edges)
+        return [RelationType(int(index)) for index in np.argmax(probabilities, axis=1)]

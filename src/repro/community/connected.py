@@ -1,0 +1,48 @@
+"""Connected components, used as the stopping structure for Girvan–Newman."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graph.graph import Graph
+from repro.types import Node
+
+
+def connected_components(graph: Graph) -> list[set[Node]]:
+    """Return the connected components of ``graph`` as a list of node sets.
+
+    Components are returned in order of first discovery (insertion order of
+    their smallest-indexed discovered node), which keeps the output
+    deterministic for a deterministic graph construction order.
+    """
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component: set[Node] = {start}
+        queue: deque[Node] = deque([start])
+        seen.add(start)
+        while queue:
+            current = queue.popleft()
+            for neighbor in graph.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    return components
+
+
+def number_connected_components(graph: Graph) -> int:
+    """Number of connected components of ``graph``."""
+    return len(connected_components(graph))
+
+
+def node_component_map(graph: Graph) -> dict[Node, int]:
+    """Map every node to the index of its connected component."""
+    mapping: dict[Node, int] = {}
+    for index, component in enumerate(connected_components(graph)):
+        for node in component:
+            mapping[node] = index
+    return mapping

@@ -1,0 +1,61 @@
+"""Newman modularity of a graph partition.
+
+Girvan–Newman produces a dendrogram of partitions; LoCEC needs one concrete
+partition per ego network, so we follow the standard practice of selecting
+the dendrogram level with the highest modularity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import CommunityError
+from repro.graph.graph import Graph
+from repro.types import Node
+
+
+def modularity(graph: Graph, communities: Sequence[Iterable[Node]]) -> float:
+    """Newman modularity ``Q`` of ``communities`` on ``graph``.
+
+    ``Q = sum_c [ L_c / m  -  (d_c / 2m)^2 ]`` where ``L_c`` is the number of
+    intra-community edges, ``d_c`` the total degree of community ``c`` and
+    ``m`` the number of edges in the graph.
+
+    Raises
+    ------
+    CommunityError
+        If the communities do not form a partition of the graph's node set.
+    """
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+    community_sets = [set(block) for block in communities]
+    _validate_partition(graph, community_sets)
+
+    q = 0.0
+    for block in community_sets:
+        intra_edges = 0
+        total_degree = 0
+        for node in block:
+            total_degree += graph.degree(node)
+            intra_edges += sum(1 for other in graph.neighbors(node) if other in block)
+        intra_edges //= 2
+        q += intra_edges / m - (total_degree / (2.0 * m)) ** 2
+    return q
+
+
+def _validate_partition(graph: Graph, community_sets: Sequence[set[Node]]) -> None:
+    covered: set[Node] = set()
+    for block in community_sets:
+        overlap = covered & block
+        if overlap:
+            raise CommunityError(f"communities overlap on nodes {sorted(map(repr, overlap))}")
+        covered |= block
+    graph_nodes = set(graph.nodes())
+    if covered != graph_nodes:
+        missing = graph_nodes - covered
+        extra = covered - graph_nodes
+        raise CommunityError(
+            "communities must partition the node set "
+            f"(missing={len(missing)}, extraneous={len(extra)})"
+        )

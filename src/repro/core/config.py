@@ -1,0 +1,124 @@
+"""Configuration for the LoCEC pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ModelConfigError
+
+
+@dataclass
+class CommCNNConfig:
+    """Hyper-parameters of the CommCNN community classifier (Figure 8)."""
+
+    num_filters: int = 8
+    """Number of filters in each convolution branch."""
+
+    dense_units: int = 32
+    """Width of the first fully connected layer."""
+
+    epochs: int = 40
+    batch_size: int = 32
+    learning_rate: float = 2e-3
+    dropout: float = 0.1
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_filters < 1 or self.dense_units < 1:
+            raise ModelConfigError("num_filters and dense_units must be positive")
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ModelConfigError("epochs and batch_size must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ModelConfigError("dropout must be in [0, 1)")
+
+
+@dataclass
+class GBDTConfig:
+    """Hyper-parameters of the XGBoost-style community classifier."""
+
+    num_rounds: int = 40
+    learning_rate: float = 0.3
+    max_depth: int = 3
+    min_samples_leaf: int = 2
+    subsample: float = 1.0
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_rounds < 1:
+            raise ModelConfigError("num_rounds must be positive")
+
+
+@dataclass
+class LoCECConfig:
+    """Top-level configuration of the LoCEC pipeline (Algorithm 2).
+
+    Attributes
+    ----------
+    k:
+        Number of feature-matrix rows per community.  The paper's parameter
+        study (Figure 10b) selects ``k = 20``.
+    community_model:
+        ``"cnn"`` for LoCEC-CNN (CommCNN) or ``"xgb"`` for LoCEC-XGB.
+    community_detector:
+        Phase I algorithm: ``"girvan_newman"`` (paper default),
+        ``"label_propagation"`` or ``"louvain"`` (ablations).
+    min_community_size:
+        Communities smaller than this are still classified (the paper keeps
+        singletons with tightness 1); the knob exists for ablations only.
+    edge_lr_iterations / edge_lr_learning_rate / edge_lr_l2:
+        Training schedule of the Phase III logistic-regression edge labeler.
+    seed:
+        Master seed propagated to all stochastic components.
+    """
+
+    k: int = 20
+    community_model: str = "cnn"
+    community_detector: str = "girvan_newman"
+    min_community_size: int = 1
+    edge_lr_iterations: int = 400
+    edge_lr_learning_rate: float = 0.5
+    edge_lr_l2: float = 1e-4
+    seed: int = 0
+    cnn: CommCNNConfig = field(default_factory=CommCNNConfig)
+    gbdt: GBDTConfig = field(default_factory=GBDTConfig)
+
+    def validate(self) -> None:
+        if self.k < 1:
+            raise ModelConfigError("k must be >= 1")
+        if self.community_model not in {"cnn", "xgb"}:
+            raise ModelConfigError(
+                f"community_model must be 'cnn' or 'xgb', got {self.community_model!r}"
+            )
+        if self.community_detector not in {
+            "girvan_newman",
+            "label_propagation",
+            "louvain",
+        }:
+            raise ModelConfigError(
+                "community_detector must be one of 'girvan_newman', "
+                f"'label_propagation', 'louvain', got {self.community_detector!r}"
+            )
+        if self.min_community_size < 1:
+            raise ModelConfigError("min_community_size must be >= 1")
+        if self.edge_lr_iterations < 1:
+            raise ModelConfigError("edge_lr_iterations must be positive")
+        self.cnn.validate()
+        self.gbdt.validate()
+
+    @classmethod
+    def locec_cnn(cls, **overrides: object) -> "LoCECConfig":
+        """Convenience constructor for the LoCEC-CNN variant."""
+        config = cls(community_model="cnn")
+        for key, value in overrides.items():
+            setattr(config, key, value)
+        config.validate()
+        return config
+
+    @classmethod
+    def locec_xgb(cls, **overrides: object) -> "LoCECConfig":
+        """Convenience constructor for the LoCEC-XGB variant."""
+        config = cls(community_model="xgb")
+        for key, value in overrides.items():
+            setattr(config, key, value)
+        config.validate()
+        return config

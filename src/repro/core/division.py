@@ -1,0 +1,188 @@
+"""Phase I — Division: ego-network extraction and local community detection.
+
+For every ego node ``v`` the global graph is reduced to the ego network
+``G_v`` (``v`` and its incident edges excluded) and a community-detection
+algorithm — Girvan–Newman in the paper, label propagation / Louvain as
+ablations — partitions the ego's friends into *local communities*.
+
+The output of this phase is a :class:`DivisionResult`: for every processed
+ego, the list of its :class:`LocalCommunity` objects carrying the member set
+and the per-member tightness values needed by Phases II and III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.community.girvan_newman import girvan_newman
+from repro.community.label_propagation import label_propagation_communities
+from repro.community.louvain import louvain_communities
+from repro.core.tightness import community_tightness
+from repro.exceptions import PipelineError
+from repro.graph.ego import ego_network
+from repro.graph.graph import Graph
+from repro.types import Node
+
+
+@dataclass(frozen=True)
+class LocalCommunity:
+    """A local community detected inside one ego's ego network.
+
+    Attributes
+    ----------
+    ego:
+        The ego node whose ego network this community lives in.
+    members:
+        The friends forming the community (the ego itself is never a member).
+    tightness:
+        Per-member tightness values (Equation 3) within this community.
+    index:
+        Position of the community within the ego's community list.
+    """
+
+    ego: Node
+    members: frozenset[Node]
+    tightness: dict[Node, float] = field(hash=False)
+    index: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def members_by_tightness(self) -> list[Node]:
+        """Members sorted by decreasing tightness (ties broken by repr for determinism)."""
+        return sorted(self.members, key=lambda node: (-self.tightness[node], repr(node)))
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.members
+
+
+@dataclass
+class DivisionResult:
+    """Phase I output: local communities for every processed ego."""
+
+    communities_by_ego: dict[Node, list[LocalCommunity]] = field(default_factory=dict)
+
+    def communities_of(self, ego: Node) -> list[LocalCommunity]:
+        """All local communities in ``ego``'s ego network."""
+        return self.communities_by_ego.get(ego, [])
+
+    def community_containing(self, ego: Node, friend: Node) -> LocalCommunity | None:
+        """The local community of ``ego``'s ego network that contains ``friend``.
+
+        Returns ``None`` when ``ego`` was not processed or ``friend`` is not a
+        friend of ``ego`` (which can happen on sharded / partial runs).
+        """
+        for community in self.communities_by_ego.get(ego, []):
+            if friend in community.members:
+                return community
+        return None
+
+    def all_communities(self) -> Iterator[LocalCommunity]:
+        """Iterate over every local community from every ego network."""
+        for communities in self.communities_by_ego.values():
+            yield from communities
+
+    @property
+    def num_egos(self) -> int:
+        return len(self.communities_by_ego)
+
+    @property
+    def num_communities(self) -> int:
+        return sum(len(blocks) for blocks in self.communities_by_ego.values())
+
+    def community_sizes(self) -> list[int]:
+        """Sizes of all local communities (used for the Figure 10a CDF)."""
+        return [community.size for community in self.all_communities()]
+
+    def merge(self, other: "DivisionResult") -> "DivisionResult":
+        """Merge the per-ego results of two shards into a new result."""
+        merged = DivisionResult(dict(self.communities_by_ego))
+        for ego, communities in other.communities_by_ego.items():
+            if ego in merged.communities_by_ego:
+                raise PipelineError(f"ego {ego!r} present in both shards")
+            merged.communities_by_ego[ego] = communities
+        return merged
+
+
+DetectorFn = Callable[[Graph], Sequence[frozenset[Node]]]
+
+
+def _girvan_newman_detector(graph: Graph) -> Sequence[frozenset[Node]]:
+    return girvan_newman(graph).communities
+
+
+def _label_propagation_detector(graph: Graph) -> Sequence[frozenset[Node]]:
+    return label_propagation_communities(graph)
+
+
+def _louvain_detector(graph: Graph) -> Sequence[frozenset[Node]]:
+    return louvain_communities(graph)
+
+
+_DETECTORS: dict[str, DetectorFn] = {
+    "girvan_newman": _girvan_newman_detector,
+    "label_propagation": _label_propagation_detector,
+    "louvain": _louvain_detector,
+}
+
+
+def get_detector(name: str) -> DetectorFn:
+    """Look up a community detector by name."""
+    try:
+        return _DETECTORS[name]
+    except KeyError:
+        raise PipelineError(
+            f"unknown community detector {name!r}; available: {sorted(_DETECTORS)}"
+        ) from None
+
+
+def divide_ego(
+    graph: Graph, ego: Node, detector: DetectorFn | str = "girvan_newman"
+) -> list[LocalCommunity]:
+    """Run Phase I for a single ego node.
+
+    Returns the ego's local communities with per-member tightness values.
+    An ego with no friends yields an empty list.
+    """
+    if isinstance(detector, str):
+        detector = get_detector(detector)
+    ego_net = ego_network(graph, ego)
+    if ego_net.num_nodes == 0:
+        return []
+    blocks = detector(ego_net)
+    communities: list[LocalCommunity] = []
+    for index, block in enumerate(blocks):
+        members = frozenset(block)
+        if not members:
+            continue
+        communities.append(
+            LocalCommunity(
+                ego=ego,
+                members=members,
+                tightness=community_tightness(ego_net, members),
+                index=index,
+            )
+        )
+    return communities
+
+
+def divide(
+    graph: Graph,
+    egos: Iterable[Node] | None = None,
+    detector: DetectorFn | str = "girvan_newman",
+) -> DivisionResult:
+    """Run Phase I for every ego in ``egos`` (default: every node of the graph).
+
+    The per-ego work is embarrassingly parallel; :mod:`repro.runtime` shards
+    this same function across workers for the scalability experiments.
+    """
+    if isinstance(detector, str):
+        detector = get_detector(detector)
+    if egos is None:
+        egos = list(graph.nodes())
+    result = DivisionResult()
+    for ego in egos:
+        result.communities_by_ego[ego] = divide_ego(graph, ego, detector)
+    return result

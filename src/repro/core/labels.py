@@ -1,0 +1,128 @@
+"""Ground-truth label handling for communities and edges.
+
+The user survey labels *edges* (ego ↔ friend relationships).  Phase II needs
+*community* labels for supervised training, which the paper derives by
+majority vote: "the ground-truth label of a community is determined by the
+majority type of friends with ground-truth relationship classes"
+(Section V-C).  This module implements that derivation plus small helpers for
+working with labeled-edge collections.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.core.division import DivisionResult, LocalCommunity
+from repro.types import Edge, LabeledEdge, Node, RelationType, canonical_edge
+
+
+class EdgeLabelIndex:
+    """Fast lookup from a canonical edge to its ground-truth label."""
+
+    def __init__(self, labeled_edges: Iterable[LabeledEdge] = ()) -> None:
+        self._labels: dict[Edge, RelationType] = {}
+        for item in labeled_edges:
+            self.add(item)
+
+    def add(self, labeled_edge: LabeledEdge) -> None:
+        self._labels[labeled_edge.edge] = labeled_edge.label
+
+    def get(self, u: Node, v: Node) -> RelationType | None:
+        return self._labels.get(canonical_edge(u, v))
+
+    def __contains__(self, edge: Edge) -> bool:
+        return canonical_edge(*edge) in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def edges(self) -> list[Edge]:
+        return list(self._labels)
+
+    def items(self) -> list[tuple[Edge, RelationType]]:
+        return list(self._labels.items())
+
+
+def majority_label(
+    labels: Sequence[RelationType],
+    targets: Sequence[RelationType] = RelationType.classification_targets(),
+) -> RelationType | None:
+    """Most frequent target label; ``None`` when no target label is present.
+
+    Ties are broken deterministically by class index (family < colleague <
+    schoolmate) so repeated runs derive identical community training sets.
+    """
+    counts = Counter(label for label in labels if label in targets)
+    if not counts:
+        return None
+    best_count = max(counts.values())
+    return min(
+        (label for label, count in counts.items() if count == best_count),
+        key=int,
+    )
+
+
+def community_ground_truth(
+    community: LocalCommunity,
+    label_index: EdgeLabelIndex,
+    min_labeled_members: int = 1,
+) -> RelationType | None:
+    """Majority-vote ground-truth label of a local community.
+
+    The vote is over the labels of the *ego ↔ member* edges (those are the
+    relationships the survey asks about).  Returns ``None`` when fewer than
+    ``min_labeled_members`` member edges are labeled.
+    """
+    member_labels = [
+        label
+        for member in community.members
+        if (label := label_index.get(community.ego, member)) is not None
+    ]
+    if len(member_labels) < min_labeled_members:
+        return None
+    return majority_label(member_labels)
+
+
+def labeled_communities(
+    division: DivisionResult,
+    label_index: EdgeLabelIndex,
+    min_labeled_members: int = 1,
+) -> tuple[list[LocalCommunity], list[int]]:
+    """Collect all communities with a derivable ground-truth label.
+
+    Returns a parallel pair ``(communities, class_indices)`` ready for
+    :class:`repro.core.community_classifier.CommunityClassifier.fit`.
+    """
+    communities: list[LocalCommunity] = []
+    labels: list[int] = []
+    for community in division.all_communities():
+        label = community_ground_truth(community, label_index, min_labeled_members)
+        if label is not None:
+            communities.append(community)
+            labels.append(int(label))
+    return communities, labels
+
+
+def split_labeled_edges(
+    labeled_edges: Sequence[LabeledEdge],
+    train_fraction: float = 0.8,
+    seed: int = 0,
+) -> tuple[list[LabeledEdge], list[LabeledEdge]]:
+    """Stratified train/test split of labeled edges (the paper's 80/20 split)."""
+    import numpy as np
+
+    from repro.ml.preprocessing import train_test_split_indices
+
+    if not labeled_edges:
+        return [], []
+    stratify = np.array([int(item.label) for item in labeled_edges])
+    train_idx, test_idx = train_test_split_indices(
+        len(labeled_edges),
+        test_fraction=1.0 - train_fraction,
+        seed=seed,
+        stratify=stratify,
+    )
+    train = [labeled_edges[index] for index in train_idx]
+    test = [labeled_edges[index] for index in test_idx]
+    return train, test

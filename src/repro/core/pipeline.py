@@ -1,0 +1,306 @@
+"""The LoCEC pipeline (Algorithm 2): division → aggregation → combination.
+
+:class:`LoCEC` orchestrates the three phases end to end:
+
+1. **Division** — ego networks + local community detection for every ego.
+2. **Aggregation** — community feature construction (Algorithm 1) and
+   community classification (CommCNN or GBDT), yielding ``r_C`` per community.
+3. **Combination** — Equation 4 edge features + logistic-regression edge
+   labeling.
+
+Typical usage::
+
+    pipeline = LoCEC(LoCECConfig.locec_cnn())
+    pipeline.fit(graph, features, interactions, train_edges)
+    report = pipeline.evaluate(test_edges)
+    result = pipeline.classify_network()          # Figure 13-style output
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.aggregation import FeatureMatrixBuilder
+from repro.core.combination import (
+    AgreementEdgeLabeler,
+    CommunityKey,
+    EdgeFeatureBuilder,
+    EdgeLabeler,
+    community_key,
+)
+from repro.core.community_classifier import (
+    CNNCommunityClassifier,
+    CommunityClassifier,
+    GBDTCommunityClassifier,
+)
+from repro.core.config import LoCECConfig
+from repro.core.division import DivisionResult, divide
+from repro.core.labels import EdgeLabelIndex, labeled_communities
+from repro.core.results import (
+    CommunityClassification,
+    EdgeClassification,
+    LoCECResult,
+)
+from repro.exceptions import NotFittedError, PipelineError
+from repro.graph.features import NodeFeatureStore
+from repro.graph.graph import Graph
+from repro.graph.interactions import InteractionStore
+from repro.ml.metrics import classification_report
+from repro.types import ClassificationReport, Edge, LabeledEdge, Node, RelationType
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds spent in each LoCEC phase during :meth:`LoCEC.fit`."""
+
+    division: float = 0.0
+    aggregation: float = 0.0
+    combination: float = 0.0
+    training: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.division + self.aggregation + self.combination + self.training
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "training": self.training,
+            "phase1_division": self.division,
+            "phase2_aggregation": self.aggregation,
+            "phase3_combination": self.combination,
+            "total": self.total,
+        }
+
+
+@dataclass
+class FitSummary:
+    """Bookkeeping produced by :meth:`LoCEC.fit` (sizes and timings)."""
+
+    num_egos: int = 0
+    num_communities: int = 0
+    num_labeled_communities: int = 0
+    num_training_edges: int = 0
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+
+class LoCEC:
+    """Local Community-based Edge Classification pipeline.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration; :meth:`LoCECConfig.locec_cnn` and
+        :meth:`LoCECConfig.locec_xgb` build the two published variants.
+    """
+
+    def __init__(self, config: LoCECConfig | None = None) -> None:
+        self.config = config or LoCECConfig()
+        self.config.validate()
+        self.division_: DivisionResult | None = None
+        self.community_classifier_: CommunityClassifier | None = None
+        self.edge_labeler_: EdgeLabeler | None = None
+        self.feature_builder_: FeatureMatrixBuilder | None = None
+        self.edge_feature_builder_: EdgeFeatureBuilder | None = None
+        self.fit_summary_: FitSummary | None = None
+        self._graph: Graph | None = None
+        self._num_classes = len(RelationType.classification_targets())
+
+    # ---------------------------------------------------------------- training
+    def fit(
+        self,
+        graph: Graph,
+        features: NodeFeatureStore,
+        interactions: InteractionStore,
+        labeled_edges: Sequence[LabeledEdge],
+        egos: Iterable[Node] | None = None,
+        division: DivisionResult | None = None,
+    ) -> "LoCEC":
+        """Run Algorithm 2's training side.
+
+        Parameters
+        ----------
+        graph, features, interactions:
+            The network ``G``, user feature matrix ``F`` and interaction
+            matrices ``I``.
+        labeled_edges:
+            The survey ground truth ``E_labeled`` used to train the community
+            classifier and the edge labeler.
+        egos:
+            Optional subset of nodes to process in Phase I (default: all).
+        division:
+            Optional pre-computed Phase I result.  Passing one lets
+            experiments that sweep Phase II/III parameters reuse the expensive
+            community detection; it must cover every ego needed downstream.
+        """
+        if not labeled_edges:
+            raise PipelineError("LoCEC.fit requires at least one labeled edge")
+        self._graph = graph
+        summary = FitSummary()
+
+        # Phase I: division.
+        start = time.perf_counter()
+        if division is None:
+            division = divide(graph, egos=egos, detector=self.config.community_detector)
+        self.division_ = division
+        summary.timings.division = time.perf_counter() - start
+        summary.num_egos = division.num_egos
+        summary.num_communities = division.num_communities
+
+        # Phase II: aggregation + community classification.
+        start = time.perf_counter()
+        self.feature_builder_ = FeatureMatrixBuilder(
+            features=features, interactions=interactions, k=self.config.k
+        )
+        label_index = EdgeLabelIndex(labeled_edges)
+        train_communities, community_labels = labeled_communities(
+            division, label_index, min_labeled_members=1
+        )
+        if not train_communities:
+            raise PipelineError(
+                "no local community has a derivable ground-truth label; "
+                "check that labeled edges overlap the processed egos"
+            )
+        summary.num_labeled_communities = len(train_communities)
+        self.community_classifier_ = self._build_community_classifier()
+        self.community_classifier_.fit(train_communities, community_labels)
+
+        all_communities = list(division.all_communities())
+        result_vectors = self._compute_result_vectors(all_communities)
+        summary.timings.aggregation = time.perf_counter() - start
+
+        # Phase III: combination.
+        start = time.perf_counter()
+        self.edge_feature_builder_ = EdgeFeatureBuilder(
+            division=division,
+            result_vectors=result_vectors,
+            result_vector_length=self.community_classifier_.result_vector_length,
+        )
+        train_edges = [item.edge for item in labeled_edges]
+        train_labels = [int(item.label) for item in labeled_edges]
+        summary.num_training_edges = len(train_edges)
+        self.edge_labeler_ = EdgeLabeler(
+            self.edge_feature_builder_,
+            num_classes=self._num_classes,
+            learning_rate=self.config.edge_lr_learning_rate,
+            num_iterations=self.config.edge_lr_iterations,
+            l2=self.config.edge_lr_l2,
+            seed=self.config.seed,
+        )
+        self.edge_labeler_.fit(train_edges, train_labels)
+        summary.timings.combination = time.perf_counter() - start
+
+        self.fit_summary_ = summary
+        return self
+
+    def _build_community_classifier(self) -> CommunityClassifier:
+        assert self.feature_builder_ is not None
+        if self.config.community_model == "cnn":
+            return CNNCommunityClassifier(
+                self.feature_builder_,
+                num_classes=self._num_classes,
+                config=self.config.cnn,
+            )
+        return GBDTCommunityClassifier(
+            self.feature_builder_,
+            num_classes=self._num_classes,
+            config=self.config.gbdt,
+        )
+
+    def _compute_result_vectors(
+        self, communities: Sequence
+    ) -> dict[CommunityKey, np.ndarray]:
+        assert self.community_classifier_ is not None
+        if not communities:
+            return {}
+        vectors = self.community_classifier_.result_vectors(list(communities))
+        return {
+            community_key(community): vectors[index]
+            for index, community in enumerate(communities)
+        }
+
+    # --------------------------------------------------------------- inference
+    def predict_edges(self, edges: Sequence[Edge]) -> list[RelationType]:
+        """Predicted relationship type for each edge."""
+        self._require_fitted()
+        assert self.edge_labeler_ is not None
+        return self.edge_labeler_.predict_types(list(edges))
+
+    def predict_edge_proba(self, edges: Sequence[Edge]) -> np.ndarray:
+        """Class-probability matrix for a batch of edges."""
+        self._require_fitted()
+        assert self.edge_labeler_ is not None
+        return self.edge_labeler_.predict_proba(list(edges))
+
+    def predict_edge(self, u: Node, v: Node) -> RelationType:
+        """Predicted relationship type of a single edge."""
+        return self.predict_edges([(u, v)])[0]
+
+    def evaluate(self, labeled_edges: Sequence[LabeledEdge]) -> ClassificationReport:
+        """Per-class precision/recall/F1 report on held-out labeled edges."""
+        self._require_fitted()
+        edges = [item.edge for item in labeled_edges]
+        y_true = np.array([int(item.label) for item in labeled_edges])
+        y_pred = np.array([int(label) for label in self.predict_edges(edges)])
+        return classification_report(y_true, y_pred)
+
+    # ----------------------------------------------------- network-level output
+    def classify_communities(self) -> list[CommunityClassification]:
+        """Predicted type of every local community found in Phase I."""
+        self._require_fitted()
+        assert self.division_ is not None and self.community_classifier_ is not None
+        communities = list(self.division_.all_communities())
+        if not communities:
+            return []
+        probabilities = self.community_classifier_.predict_proba(communities)
+        classifications: list[CommunityClassification] = []
+        for index, community in enumerate(communities):
+            row = probabilities[index]
+            classifications.append(
+                CommunityClassification(
+                    ego=community.ego,
+                    index=community.index,
+                    size=community.size,
+                    label=RelationType(int(np.argmax(row))),
+                    probabilities=tuple(float(x) for x in row),
+                )
+            )
+        return classifications
+
+    def classify_network(self, edges: Iterable[Edge] | None = None) -> LoCECResult:
+        """Classify every community and every edge of the fitted graph.
+
+        This is the "apply to the whole WeChat network" step whose output
+        distribution the paper reports in Figure 13.
+        """
+        self._require_fitted()
+        assert self._graph is not None
+        edge_list = list(edges) if edges is not None else list(self._graph.edges())
+        probabilities = self.predict_edge_proba(edge_list)
+        edge_classifications = [
+            EdgeClassification(
+                edge=edge,
+                label=RelationType(int(np.argmax(probabilities[index]))),
+                probabilities=tuple(float(x) for x in probabilities[index]),
+            )
+            for index, edge in enumerate(edge_list)
+        ]
+        return LoCECResult(
+            community_classifications=self.classify_communities(),
+            edge_classifications=edge_classifications,
+        )
+
+    # ---------------------------------------------------------------- ablations
+    def agreement_rule_predictions(self, edges: Sequence[Edge]) -> np.ndarray:
+        """Predictions of the naive "agree-else-argmax" Phase III ablation."""
+        self._require_fitted()
+        assert self.edge_feature_builder_ is not None
+        labeler = AgreementEdgeLabeler(self.edge_feature_builder_, self._num_classes)
+        return labeler.predict(list(edges))
+
+    def _require_fitted(self) -> None:
+        if self.edge_labeler_ is None:
+            raise NotFittedError(self)

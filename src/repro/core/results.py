@@ -1,0 +1,83 @@
+"""Result containers returned by the LoCEC pipeline."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.types import Edge, Node, RelationType
+
+
+@dataclass
+class CommunityClassification:
+    """Predicted type of one local community."""
+
+    ego: Node
+    index: int
+    size: int
+    label: RelationType
+    probabilities: tuple[float, ...]
+
+
+@dataclass
+class EdgeClassification:
+    """Predicted type of one edge."""
+
+    edge: Edge
+    label: RelationType
+    probabilities: tuple[float, ...]
+
+
+@dataclass
+class LoCECResult:
+    """Full output of a LoCEC run (Algorithm 2 over a whole network).
+
+    Provides the type distributions the paper reports in Figure 13 and the
+    raw per-community / per-edge assignments downstream applications (e.g.
+    :mod:`repro.ads`) consume.
+    """
+
+    community_classifications: list[CommunityClassification] = field(default_factory=list)
+    edge_classifications: list[EdgeClassification] = field(default_factory=list)
+
+    @property
+    def num_communities(self) -> int:
+        return len(self.community_classifications)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_classifications)
+
+    def community_type_distribution(self) -> dict[RelationType, float]:
+        """Fraction of communities assigned to each type (Figure 13a)."""
+        return _distribution(
+            [item.label for item in self.community_classifications]
+        )
+
+    def edge_type_distribution(self) -> dict[RelationType, float]:
+        """Fraction of edges assigned to each type (Figure 13b)."""
+        return _distribution([item.label for item in self.edge_classifications])
+
+    def edge_label_map(self) -> dict[Edge, RelationType]:
+        """Mapping from canonical edge to its predicted type."""
+        return {item.edge: item.label for item in self.edge_classifications}
+
+    def mean_community_size(self, label: RelationType) -> float:
+        """Mean size of communities predicted as ``label`` (0 when none)."""
+        sizes = [
+            item.size
+            for item in self.community_classifications
+            if item.label == label
+        ]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+
+def _distribution(labels: list[RelationType]) -> dict[RelationType, float]:
+    counts = Counter(labels)
+    total = sum(counts.values())
+    if total == 0:
+        return {label: 0.0 for label in RelationType.classification_targets()}
+    return {
+        label: counts.get(label, 0) / total
+        for label in RelationType.classification_targets()
+    }

@@ -1,0 +1,74 @@
+"""Tightness between a node and its local community (Equation 3).
+
+For an ego node ``v``, a friend ``u`` inside local community ``C`` of ``v``'s
+ego network ``G_v``:
+
+* ``tightness(u, C) = 1`` when ``|C| = 1`` (singleton community), otherwise
+* ``tightness(u, C) = (|friend(u, C)| / |friend(u, G_v)|) × (|friend(u, C)| / (|C| - 1))``
+
+where ``friend(u, C)`` counts ``u``'s friends inside ``C`` and
+``friend(u, G_v)`` counts ``u``'s friends in the whole ego network (the ego
+itself is excluded from the ego network by construction, so it never counts).
+
+Intuition: a member that connects to everyone in its community and to nobody
+outside of it gets tightness 1; members that straddle several circles score
+lower and are therefore placed further down the community feature matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.graph.graph import Graph
+from repro.types import Node
+
+
+def friend_count_in(ego_net: Graph, node: Node, members: Collection[Node]) -> int:
+    """Number of ``node``'s friends (within the ego network) that lie in ``members``."""
+    neighbors = ego_net.neighbors(node)
+    member_set = members if isinstance(members, (set, frozenset)) else set(members)
+    return sum(1 for other in neighbors if other in member_set)
+
+
+def tightness(ego_net: Graph, node: Node, community: Collection[Node]) -> float:
+    """Equation 3: tightness of ``node`` with respect to ``community``.
+
+    Parameters
+    ----------
+    ego_net:
+        The ego network ``G_v`` the community was detected in.
+    node:
+        A member of ``community``.
+    community:
+        The local community ``C`` (must contain ``node``).
+
+    Returns
+    -------
+    float
+        A value in ``[0, 1]``; 1 for singleton communities.
+    """
+    member_set = set(community)
+    if node not in member_set:
+        raise ValueError(f"node {node!r} is not a member of the community")
+    size = len(member_set)
+    if size == 1:
+        return 1.0
+
+    friends_in_community = friend_count_in(ego_net, node, member_set)
+    friends_in_ego = ego_net.degree(node)
+    if friends_in_ego == 0:
+        # A completely isolated member of a multi-node community can only
+        # happen when the community was supplied externally (not by GN);
+        # it plays no representative role, so its tightness is 0.
+        return 0.0
+    return (friends_in_community / friends_in_ego) * (
+        friends_in_community / (size - 1)
+    )
+
+
+def community_tightness(
+    ego_net: Graph, community: Collection[Node]
+) -> dict[Node, float]:
+    """Tightness of every member of ``community`` (Equation 3 applied per node)."""
+    member_set = set(community)
+    return {node: tightness(ego_net, node, member_set) for node in member_set}

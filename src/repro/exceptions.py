@@ -1,0 +1,79 @@
+"""Exception hierarchy for the LoCEC reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Sub-classes are deliberately fine-grained: the graph
+substrate, the ML substrate and the LoCEC pipeline each raise distinct error
+types so that tests and downstream users can discriminate failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the graph substrate."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class SelfLoopError(GraphError, ValueError):
+    """An operation attempted to add a self-loop, which the model forbids."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"self-loops are not allowed (node {node!r})")
+        self.node = node
+
+
+class FeatureError(ReproError):
+    """Invalid node-feature or interaction-feature data."""
+
+
+class CommunityError(ReproError):
+    """Errors raised by the community-detection algorithms."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator was used before being fitted."""
+
+    def __init__(self, estimator: object = None) -> None:
+        name = type(estimator).__name__ if estimator is not None else "estimator"
+        super().__init__(
+            f"{name} is not fitted yet; call fit() before using this method"
+        )
+
+
+class ModelConfigError(ReproError, ValueError):
+    """An ML model was configured with invalid hyper-parameters."""
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Input arrays have inconsistent shapes."""
+
+
+class PipelineError(ReproError):
+    """Errors raised by the LoCEC pipeline orchestration."""
+
+
+class DatasetError(ReproError):
+    """Errors raised by the synthetic dataset generators."""
+
+
+class ExperimentError(ReproError):
+    """Errors raised by the experiment harness."""

@@ -1,0 +1,49 @@
+"""Experiment modules: one per table/figure of the paper's evaluation."""
+
+from repro.experiments import (
+    exp_fig2,
+    exp_fig3,
+    exp_fig4,
+    exp_fig10,
+    exp_fig11,
+    exp_fig12,
+    exp_fig13,
+    exp_fig14,
+    exp_table1,
+    exp_table2,
+    exp_table4,
+    exp_table5,
+    exp_table6,
+)
+from repro.experiments.common import (
+    EDGE_METHODS,
+    ExperimentResult,
+    evaluate_all_methods,
+    evaluate_method,
+    overall_f1,
+    per_class_f1,
+    report_to_rows,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "EDGE_METHODS",
+    "evaluate_method",
+    "evaluate_all_methods",
+    "overall_f1",
+    "per_class_f1",
+    "report_to_rows",
+    "exp_table1",
+    "exp_table2",
+    "exp_table4",
+    "exp_table5",
+    "exp_table6",
+    "exp_fig2",
+    "exp_fig3",
+    "exp_fig4",
+    "exp_fig10",
+    "exp_fig11",
+    "exp_fig12",
+    "exp_fig13",
+    "exp_fig14",
+]

@@ -1,0 +1,79 @@
+"""Figure 10 — parameter study: community-size CDF and F1 as k varies."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.community_stats import community_size_cdf, median_community_size
+from repro.experiments.common import ExperimentResult, evaluate_method, overall_f1
+from repro.synthetic.workloads import ExperimentWorkload, make_workload
+
+
+def run_size_cdf(
+    workload: ExperimentWorkload | None = None, scale: str = "small", seed: int = 0
+) -> ExperimentResult:
+    """Figure 10(a): cumulative distribution of local community sizes."""
+    workload = workload or make_workload(scale=scale, seed=seed)
+    division = workload.division()
+    points = [2, 4, 8, 16, 32, 64, 128, 256]
+    cdf = community_size_cdf(division, points=points)
+    rows = [
+        {"Community size <=": point, "CDF": value} for point, value in zip(points, cdf)
+    ]
+    return ExperimentResult(
+        experiment_id="fig10a",
+        title="CDF of local community size",
+        rows=rows,
+        notes=f"median community size = {median_community_size(division):.0f}",
+    )
+
+
+def run_k_sweep(
+    workload: ExperimentWorkload | None = None,
+    scale: str = "small",
+    seed: int = 0,
+    k_values: Sequence[int] = (5, 10, 20, 30, 40),
+    cnn_epochs: int = 30,
+) -> ExperimentResult:
+    """Figure 10(b): overall F1 of LoCEC-CNN as ``k`` varies.
+
+    Expected shape: low F1 for very small ``k`` (not enough information),
+    a peak near the typical community size, and a mild decline for large
+    ``k`` (zero-padding noise).
+    """
+    workload = workload or make_workload(scale=scale, seed=seed)
+    rows = []
+    for k in k_values:
+        report = evaluate_method(
+            "LoCEC-CNN", workload, k=k, cnn_epochs=cnn_epochs, seed=seed
+        )
+        rows.append({"k": k, "Overall F1-score": overall_f1(report)})
+    return ExperimentResult(
+        experiment_id="fig10b",
+        title="LoCEC-CNN performance as k varies",
+        rows=rows,
+    )
+
+
+def run(
+    workload: ExperimentWorkload | None = None,
+    scale: str = "small",
+    seed: int = 0,
+    k_values: Sequence[int] = (5, 10, 20, 30, 40),
+    cnn_epochs: int = 30,
+) -> ExperimentResult:
+    """Both panels of Figure 10 merged into one result (rows carry a Panel column)."""
+    workload = workload or make_workload(scale=scale, seed=seed)
+    panel_a = run_size_cdf(workload)
+    panel_b = run_k_sweep(workload, k_values=k_values, cnn_epochs=cnn_epochs, seed=seed)
+    rows: list[dict[str, object]] = []
+    for row in panel_a.rows:
+        rows.append({"Panel": "a", **row})
+    for row in panel_b.rows:
+        rows.append({"Panel": "b", **row})
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Parameter study (community sizes and k sweep)",
+        rows=rows,
+        notes=panel_a.notes,
+    )

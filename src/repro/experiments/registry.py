@@ -1,0 +1,54 @@
+"""Registry mapping experiment ids to their ``run`` callables."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    exp_fig2,
+    exp_fig3,
+    exp_fig4,
+    exp_fig10,
+    exp_fig11,
+    exp_fig12,
+    exp_fig13,
+    exp_fig14,
+    exp_table1,
+    exp_table2,
+    exp_table4,
+    exp_table5,
+    exp_table6,
+)
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": exp_table1.run,
+    "table2": exp_table2.run,
+    "table4": exp_table4.run,
+    "table5": exp_table5.run,
+    "table6": exp_table6.run,
+    "fig2": exp_fig2.run,
+    "fig3": exp_fig3.run,
+    "fig4": exp_fig4.run,
+    "fig10": exp_fig10.run,
+    "fig11": exp_fig11.run,
+    "fig12": exp_fig12.run,
+    "fig13": exp_fig13.run,
+    "fig14": exp_fig14.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up an experiment ``run`` function by id (e.g. ``"table4"``)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def list_experiments() -> list[str]:
+    """All known experiment ids in a stable order."""
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,29 @@
+"""Graph substrate: undirected graphs, ego networks, feature and interaction stores."""
+
+from repro.graph.ego import ego_network, ego_network_size, ego_networks
+from repro.graph.features import NodeFeatureStore
+from repro.graph.graph import Graph
+from repro.graph.interactions import InteractionStore
+from repro.graph.io import (
+    load_dataset_json,
+    read_edge_list,
+    read_labeled_edges,
+    save_dataset_json,
+    write_edge_list,
+    write_labeled_edges,
+)
+
+__all__ = [
+    "Graph",
+    "InteractionStore",
+    "NodeFeatureStore",
+    "ego_network",
+    "ego_networks",
+    "ego_network_size",
+    "read_edge_list",
+    "write_edge_list",
+    "read_labeled_edges",
+    "write_labeled_edges",
+    "save_dataset_json",
+    "load_dataset_json",
+]

@@ -1,0 +1,100 @@
+"""Structural graph metrics used by the analysis module and tests."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.graph.graph import Graph
+from repro.types import Node
+
+
+def density(graph: Graph) -> float:
+    """Edge density ``2m / (n (n-1))`` of an undirected graph."""
+    n = graph.num_nodes
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.num_edges / (n * (n - 1))
+
+
+def local_clustering(graph: Graph, node: Node) -> float:
+    """Local clustering coefficient of ``node``."""
+    neighbors = list(graph.neighbors(node))
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    neighbor_set = set(neighbors)
+    for i, u in enumerate(neighbors):
+        links += sum(1 for v in neighbors[i + 1 :] if v in graph.neighbors(u))
+    del neighbor_set
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(graph: Graph) -> float:
+    """Mean local clustering coefficient over all nodes."""
+    n = graph.num_nodes
+    if n == 0:
+        return 0.0
+    return sum(local_clustering(graph, node) for node in graph.nodes()) / n
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Histogram mapping degree value to number of nodes with that degree."""
+    histogram: dict[int, int] = {}
+    for degree in graph.degrees().values():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def average_degree(graph: Graph) -> float:
+    """Mean node degree."""
+    n = graph.num_nodes
+    if n == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / n
+
+
+def shortest_path_lengths(graph: Graph, source: Node) -> dict[Node, int]:
+    """Unweighted BFS shortest-path lengths from ``source``."""
+    distances: dict[Node, int] = {source: 0}
+    queue: deque[Node] = deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbor in graph.neighbors(current):
+            if neighbor not in distances:
+                distances[neighbor] = distances[current] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (empty graphs count as connected)."""
+    if graph.num_nodes == 0:
+        return True
+    source = next(iter(graph.nodes()))
+    return len(shortest_path_lengths(graph, source)) == graph.num_nodes
+
+
+def common_neighbors(graph: Graph, u: Node, v: Node) -> set[Node]:
+    """Set of common neighbours of ``u`` and ``v``."""
+    return set(graph.neighbors(u)) & set(graph.neighbors(v))
+
+
+def jaccard_similarity(graph: Graph, u: Node, v: Node) -> float:
+    """Jaccard similarity of the neighbour sets of ``u`` and ``v``."""
+    nu, nv = set(graph.neighbors(u)), set(graph.neighbors(v))
+    union = nu | nv
+    if not union:
+        return 0.0
+    return len(nu & nv) / len(union)
+
+
+def edge_count_within(graph: Graph, nodes: Iterable[Node]) -> int:
+    """Number of edges of ``graph`` with both endpoints in ``nodes``."""
+    keep = set(nodes)
+    count = 0
+    for node in keep:
+        if node in graph:
+            count += sum(1 for other in graph.neighbors(node) if other in keep)
+    return count // 2

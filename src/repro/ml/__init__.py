@@ -1,0 +1,44 @@
+"""From-scratch machine-learning substrate (GBDT, logistic regression, CNN, metrics)."""
+
+from repro.ml.base import Classifier, one_hot, softmax
+from repro.ml.gbdt import GradientBoostedClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    format_report,
+    macro_f1,
+    precision_recall_f1,
+    weighted_prf,
+)
+from repro.ml.preprocessing import (
+    MinMaxScaler,
+    StandardScaler,
+    kfold_indices,
+    train_test_split,
+    train_test_split_indices,
+)
+from repro.ml.tree import GradientRegressionTree, RegressionTreeConfig
+
+__all__ = [
+    "Classifier",
+    "softmax",
+    "one_hot",
+    "LogisticRegression",
+    "GradientBoostedClassifier",
+    "GradientRegressionTree",
+    "RegressionTreeConfig",
+    "accuracy",
+    "classification_report",
+    "confusion_matrix",
+    "format_report",
+    "macro_f1",
+    "precision_recall_f1",
+    "weighted_prf",
+    "StandardScaler",
+    "MinMaxScaler",
+    "train_test_split",
+    "train_test_split_indices",
+    "kfold_indices",
+]

@@ -1,0 +1,83 @@
+"""Common estimator protocol for the from-scratch ML substrate.
+
+All classifiers in :mod:`repro.ml` follow a small fit/predict protocol so the
+LoCEC pipeline can swap the community classifier (GBDT vs CommCNN) without
+special-casing:
+
+* ``fit(X, y)`` — train on a 2-D (or, for CNNs, 3-D) feature array and an
+  integer label vector; returns ``self``.
+* ``predict_proba(X)`` — return an ``(n_samples, n_classes)`` array of class
+  probabilities.
+* ``predict(X)`` — return the argmax class indices.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, NotFittedError
+
+
+@runtime_checkable
+class Classifier(Protocol):
+    """Structural protocol every classifier in the library satisfies."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":  # pragma: no cover
+        ...
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:  # pragma: no cover
+        ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray:  # pragma: no cover
+        ...
+
+
+def check_fitted(estimator: object, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``estimator.attribute`` is set."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(estimator)
+
+
+def check_X_y(X: np.ndarray, y: np.ndarray, min_dim: int = 2) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a feature array and label vector.
+
+    Ensures ``X`` is a float array with at least ``min_dim`` dimensions, ``y``
+    is a 1-D integer array, and their first dimensions agree.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    if X.ndim < min_dim:
+        raise DimensionMismatchError(
+            f"X must have at least {min_dim} dimensions, got shape {X.shape}"
+        )
+    if y.ndim != 1:
+        raise DimensionMismatchError(f"y must be 1-dimensional, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise DimensionMismatchError(
+            f"X and y disagree on sample count: {X.shape[0]} vs {y.shape[0]}"
+        )
+    if X.shape[0] == 0:
+        raise DimensionMismatchError("cannot fit on an empty dataset")
+    return X, y.astype(np.int64)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def one_hot(y: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer label vector."""
+    y = np.asarray(y, dtype=np.int64)
+    if y.size and (y.min() < 0 or y.max() >= num_classes):
+        raise DimensionMismatchError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{y.min()}, {y.max()}]"
+        )
+    encoded = np.zeros((y.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(y.shape[0]), y] = 1.0
+    return encoded

@@ -1,0 +1,33 @@
+"""From-scratch NumPy neural-network stack used to build CommCNN."""
+
+from repro.ml.nn.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalMaxPool2D,
+    Layer,
+    MaxPool2D,
+    ReLU,
+)
+from repro.ml.nn.losses import SoftmaxCrossEntropy
+from repro.ml.nn.network import NeuralNetworkClassifier, ParallelConcat, Sequential
+from repro.ml.nn.optimizers import SGD, Adam, Optimizer
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GlobalMaxPool2D",
+    "MaxPool2D",
+    "ReLU",
+    "SoftmaxCrossEntropy",
+    "Sequential",
+    "ParallelConcat",
+    "NeuralNetworkClassifier",
+    "Optimizer",
+    "SGD",
+    "Adam",
+]

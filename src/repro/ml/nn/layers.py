@@ -1,0 +1,351 @@
+"""NumPy neural-network layers used to assemble CommCNN.
+
+All convolutional layers operate on tensors of shape ``(N, C, H, W)``; dense
+layers operate on ``(N, D)``.  Every layer implements
+
+* ``forward(x, training)`` → output,
+* ``backward(grad_output)`` → gradient with respect to the layer input, and
+* ``parameters()`` → list of ``(name, param_array, grad_array)`` triples for
+  the optimiser (empty for parameter-free layers).
+
+CommCNN's input matrices are tiny (``k × (|I|+|f|)``, typically 20 × 11), so
+the implementation favours clarity (im2col-based convolution) over peak
+throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, ModelConfigError
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[tuple[str, np.ndarray, np.ndarray]]:
+        """``(name, parameter, gradient)`` triples; default is parameter-free."""
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return type(self).__name__
+
+
+# --------------------------------------------------------------------- im2col
+def _im2col(x: np.ndarray, kernel_h: int, kernel_w: int) -> np.ndarray:
+    """Rearrange sliding ``kernel_h × kernel_w`` patches into columns.
+
+    Input ``(N, C, H, W)`` → output ``(N, C*kh*kw, out_h*out_w)`` for stride 1
+    and no padding.
+    """
+    n, channels, height, width = x.shape
+    out_h = height - kernel_h + 1
+    out_w = width - kernel_w + 1
+    cols = np.empty((n, channels * kernel_h * kernel_w, out_h * out_w), dtype=x.dtype)
+    col_index = 0
+    for row in range(kernel_h):
+        for col in range(kernel_w):
+            patch = x[:, :, row : row + out_h, col : col + out_w]
+            cols[:, col_index * channels : (col_index + 1) * channels, :] = patch.reshape(
+                n, channels, out_h * out_w
+            )
+            col_index += 1
+    return cols
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+) -> np.ndarray:
+    """Inverse of :func:`_im2col`: scatter-add column gradients back to the image."""
+    n, channels, height, width = x_shape
+    out_h = height - kernel_h + 1
+    out_w = width - kernel_w + 1
+    dx = np.zeros(x_shape, dtype=cols.dtype)
+    col_index = 0
+    for row in range(kernel_h):
+        for col in range(kernel_w):
+            patch = cols[:, col_index * channels : (col_index + 1) * channels, :]
+            dx[:, :, row : row + out_h, col : col + out_w] += patch.reshape(
+                n, channels, out_h, out_w
+            )
+            col_index += 1
+    return dx
+
+
+class Conv2D(Layer):
+    """2-D convolution with stride 1 and no padding ("valid").
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        ``(kernel_h, kernel_w)``.  CommCNN uses 3×3 (square), 1×W (wide),
+        H×1 (long) and 1×1 kernels.
+    seed:
+        Seed for He-style weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: tuple[int, int],
+        seed: int = 0,
+    ) -> None:
+        if in_channels < 1 or out_channels < 1:
+            raise ModelConfigError("channel counts must be positive")
+        kernel_h, kernel_w = kernel_size
+        if kernel_h < 1 or kernel_w < 1:
+            raise ModelConfigError("kernel dimensions must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_h = kernel_h
+        self.kernel_w = kernel_w
+        rng = np.random.default_rng(seed)
+        fan_in = in_channels * kernel_h * kernel_w
+        self.weight = rng.normal(
+            scale=np.sqrt(2.0 / fan_in), size=(out_channels, in_channels, kernel_h, kernel_w)
+        )
+        self.bias = np.zeros(out_channels)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cache: tuple[np.ndarray, tuple[int, int, int, int]] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise DimensionMismatchError(
+                f"Conv2D expected (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n, _, height, width = x.shape
+        if height < self.kernel_h or width < self.kernel_w:
+            raise DimensionMismatchError(
+                f"input {height}x{width} smaller than kernel "
+                f"{self.kernel_h}x{self.kernel_w}"
+            )
+        cols = _im2col(x, self.kernel_h, self.kernel_w)
+        weight_matrix = self.weight.reshape(self.out_channels, -1)
+        out = np.einsum("fk,nkp->nfp", weight_matrix, cols) + self.bias[None, :, None]
+        out_h = height - self.kernel_h + 1
+        out_w = width - self.kernel_w + 1
+        if training:
+            self._cache = (cols, x.shape)
+        return out.reshape(n, self.out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise DimensionMismatchError("backward called before forward(training=True)")
+        cols, x_shape = self._cache
+        n = grad_output.shape[0]
+        grad_flat = grad_output.reshape(n, self.out_channels, -1)
+        weight_matrix = self.weight.reshape(self.out_channels, -1)
+
+        self.grad_weight[...] = np.einsum("nfp,nkp->fk", grad_flat, cols).reshape(
+            self.weight.shape
+        )
+        self.grad_bias[...] = grad_flat.sum(axis=(0, 2))
+        grad_cols = np.einsum("fk,nfp->nkp", weight_matrix, grad_flat)
+        return _col2im(grad_cols, x_shape, self.kernel_h, self.kernel_w)
+
+    def parameters(self) -> list[tuple[str, np.ndarray, np.ndarray]]:
+        return [
+            ("weight", self.weight, self.grad_weight),
+            ("bias", self.bias, self.grad_bias),
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv2D({self.in_channels}->{self.out_channels}, "
+            f"kernel=({self.kernel_h}, {self.kernel_w}))"
+        )
+
+
+class ReLU(Layer):
+    """Element-wise rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0
+        if training:
+            self._mask = mask
+        return x * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return grad_output * self._mask
+
+
+class MaxPool2D(Layer):
+    """Max pooling with pool size equal to stride (non-overlapping windows).
+
+    Inputs whose spatial size is not divisible by the pool size are truncated
+    (floor), matching common framework behaviour.  Pool windows are clamped so
+    a dimension smaller than the pool size degenerates to size-1 pooling on
+    that axis, which keeps tiny CommCNN feature maps usable.
+    """
+
+    def __init__(self, pool_size: tuple[int, int] = (2, 2)) -> None:
+        pool_h, pool_w = pool_size
+        if pool_h < 1 or pool_w < 1:
+            raise ModelConfigError("pool dimensions must be positive")
+        self.pool_h = pool_h
+        self.pool_w = pool_w
+        self._cache: tuple[np.ndarray, int, int, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise DimensionMismatchError(f"MaxPool2D expects (N, C, H, W), got {x.shape}")
+        n, channels, height, width = x.shape
+        pool_h = min(self.pool_h, height)
+        pool_w = min(self.pool_w, width)
+        out_h = height // pool_h
+        out_w = width // pool_w
+        trimmed = x[:, :, : out_h * pool_h, : out_w * pool_w]
+        windows = trimmed.reshape(n, channels, out_h, pool_h, out_w, pool_w)
+        out = windows.max(axis=(3, 5))
+        if training:
+            mask = windows == out[:, :, :, None, :, None]
+            # Break ties: keep only the first maximal element per window.
+            flat = mask.reshape(n, channels, out_h, out_w, pool_h * pool_w)
+            first = np.zeros_like(flat)
+            first[
+                np.arange(n)[:, None, None, None],
+                np.arange(channels)[None, :, None, None],
+                np.arange(out_h)[None, None, :, None],
+                np.arange(out_w)[None, None, None, :],
+                flat.argmax(axis=-1),
+            ] = True
+            mask = first.reshape(windows.shape)
+            self._cache = (mask, pool_h, pool_w, np.array(x.shape))
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        mask, pool_h, pool_w, x_shape = self._cache
+        n, channels, height, width = x_shape
+        out_h = height // pool_h
+        out_w = width // pool_w
+        expanded = mask * grad_output[:, :, :, None, :, None]
+        dx = np.zeros((n, channels, height, width), dtype=grad_output.dtype)
+        dx[:, :, : out_h * pool_h, : out_w * pool_w] = expanded.reshape(
+            n, channels, out_h * pool_h, out_w * pool_w
+        )
+        return dx
+
+
+class GlobalMaxPool2D(Layer):
+    """Global max pooling: ``(N, C, H, W)`` → ``(N, C)``."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, tuple[int, ...]] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise DimensionMismatchError(
+                f"GlobalMaxPool2D expects (N, C, H, W), got {x.shape}"
+            )
+        n, channels, height, width = x.shape
+        flat = x.reshape(n, channels, height * width)
+        arg = flat.argmax(axis=2)
+        out = flat[np.arange(n)[:, None], np.arange(channels)[None, :], arg]
+        if training:
+            self._cache = (arg, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        arg, x_shape = self._cache
+        n, channels, height, width = x_shape
+        dx = np.zeros((n, channels, height * width), dtype=grad_output.dtype)
+        dx[np.arange(n)[:, None], np.arange(channels)[None, :], arg] = grad_output
+        return dx.reshape(x_shape)
+
+
+class Flatten(Layer):
+    """Flatten ``(N, ...)`` into ``(N, D)``."""
+
+    def __init__(self) -> None:
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._input_shape is not None
+        return grad_output.reshape(self._input_shape)
+
+
+class Dense(Layer):
+    """Fully connected layer ``(N, in_features)`` → ``(N, out_features)``."""
+
+    def __init__(self, in_features: int, out_features: int, seed: int = 0) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ModelConfigError("feature counts must be positive")
+        rng = np.random.default_rng(seed)
+        self.weight = rng.normal(
+            scale=np.sqrt(2.0 / in_features), size=(in_features, out_features)
+        )
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.weight.shape[0]:
+            raise DimensionMismatchError(
+                f"Dense expected (N, {self.weight.shape[0]}), got {x.shape}"
+            )
+        if training:
+            self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._input is not None
+        self.grad_weight[...] = self._input.T @ grad_output
+        self.grad_bias[...] = grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    def parameters(self) -> list[tuple[str, np.ndarray, np.ndarray]]:
+        return [
+            ("weight", self.weight, self.grad_weight),
+            ("bias", self.bias, self.grad_bias),
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dense({self.weight.shape[0]}->{self.weight.shape[1]})"
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float = 0.5, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ModelConfigError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            return x
+        keep_prob = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep_prob) / keep_prob
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask

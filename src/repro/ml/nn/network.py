@@ -1,0 +1,183 @@
+"""Model containers: Sequential stacks, parallel branches and a trainer.
+
+CommCNN (Figure 8 of the paper) is a multi-branch network: the input feature
+matrix flows through three convolution branches (square / wide / long) whose
+outputs are flattened, concatenated and passed to fully connected layers.
+:class:`Sequential` models a linear stack, :class:`ParallelConcat` models the
+branch-and-concatenate pattern, and :class:`NeuralNetworkClassifier` wraps a
+model with the softmax-cross-entropy loss, mini-batch Adam training and the
+common ``fit`` / ``predict_proba`` / ``predict`` protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelConfigError
+from repro.ml.base import check_fitted
+from repro.ml.nn.layers import Layer
+from repro.ml.nn.losses import SoftmaxCrossEntropy
+from repro.ml.nn.optimizers import Adam, Optimizer
+
+
+class Sequential(Layer):
+    """A linear stack of layers."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[tuple[str, np.ndarray, np.ndarray]]:
+        collected: list[tuple[str, np.ndarray, np.ndarray]] = []
+        for index, layer in enumerate(self.layers):
+            for name, param, grad in layer.parameters():
+                collected.append((f"layer{index}.{name}", param, grad))
+        return collected
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential([{inner}])"
+
+
+class ParallelConcat(Layer):
+    """Run branches on the same input and concatenate their 2-D outputs.
+
+    Every branch must produce a 2-D ``(N, d_i)`` output (use ``Flatten`` or a
+    global pooling layer at the end of each branch); the concatenated output
+    has shape ``(N, sum_i d_i)``.
+    """
+
+    def __init__(self, branches: list[Layer]) -> None:
+        if not branches:
+            raise ModelConfigError("ParallelConcat needs at least one branch")
+        self.branches = list(branches)
+        self._split_sizes: list[int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        outputs = [branch.forward(x, training=training) for branch in self.branches]
+        for out in outputs:
+            if out.ndim != 2:
+                raise ModelConfigError(
+                    "every ParallelConcat branch must emit a 2-D output; "
+                    f"got shape {out.shape}"
+                )
+        self._split_sizes = [out.shape[1] for out in outputs]
+        return np.concatenate(outputs, axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._split_sizes is not None
+        grads = np.split(grad_output, np.cumsum(self._split_sizes)[:-1], axis=1)
+        total: np.ndarray | None = None
+        for branch, grad in zip(self.branches, grads):
+            branch_grad = branch.backward(grad)
+            total = branch_grad if total is None else total + branch_grad
+        assert total is not None
+        return total
+
+    def parameters(self) -> list[tuple[str, np.ndarray, np.ndarray]]:
+        collected: list[tuple[str, np.ndarray, np.ndarray]] = []
+        for index, branch in enumerate(self.branches):
+            for name, param, grad in branch.parameters():
+                collected.append((f"branch{index}.{name}", param, grad))
+        return collected
+
+
+class NeuralNetworkClassifier:
+    """Trainable classifier around a network emitting class logits.
+
+    Parameters
+    ----------
+    model:
+        A :class:`Layer` (usually :class:`Sequential`) whose output is a
+        ``(N, num_classes)`` logits matrix.
+    num_classes:
+        Number of classes (for validation of the output width).
+    epochs, batch_size, learning_rate:
+        Mini-batch Adam training schedule.
+    seed:
+        Seed controlling the shuffling of mini-batches.
+    optimizer:
+        Optional custom optimiser instance; default is Adam.
+    """
+
+    def __init__(
+        self,
+        model: Layer,
+        num_classes: int,
+        epochs: int = 30,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+        seed: int = 0,
+        optimizer: Optimizer | None = None,
+    ) -> None:
+        if num_classes < 2:
+            raise ModelConfigError("need at least two classes")
+        if epochs < 1 or batch_size < 1:
+            raise ModelConfigError("epochs and batch_size must be positive")
+        self.model = model
+        self.num_classes = num_classes
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.optimizer = optimizer or Adam(learning_rate=learning_rate)
+        self.loss = SoftmaxCrossEntropy()
+        self.loss_history_: list[float] | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "NeuralNetworkClassifier":
+        """Train on ``X`` (any shape with leading sample axis) and labels ``y``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.shape[0] != y.shape[0]:
+            raise ModelConfigError(
+                f"X and y disagree on sample count: {X.shape[0]} vs {y.shape[0]}"
+            )
+        n_samples = X.shape[0]
+        rng = np.random.default_rng(self.seed)
+        self.loss_history_ = []
+
+        for _ in range(self.epochs):
+            order = rng.permutation(n_samples)
+            epoch_loss = 0.0
+            num_batches = 0
+            for start in range(0, n_samples, self.batch_size):
+                batch_idx = order[start : start + self.batch_size]
+                logits = self.model.forward(X[batch_idx], training=True)
+                if logits.shape[1] != self.num_classes:
+                    raise ModelConfigError(
+                        f"model emits {logits.shape[1]} logits, "
+                        f"expected {self.num_classes}"
+                    )
+                batch_loss = self.loss.forward(logits, y[batch_idx])
+                grad = self.loss.backward()
+                self.model.backward(grad)
+                self.optimizer.step(self.model.parameters())
+                epoch_loss += batch_loss
+                num_batches += 1
+            self.loss_history_.append(epoch_loss / max(num_batches, 1))
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability matrix of shape ``(n_samples, num_classes)``."""
+        check_fitted(self, "loss_history_")
+        X = np.asarray(X, dtype=np.float64)
+        logits = self.model.forward(X, training=False)
+        return SoftmaxCrossEntropy.probabilities(logits)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class index for each sample."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars in the model."""
+        return int(sum(param.size for _, param, _ in self.model.parameters()))

@@ -1,0 +1,78 @@
+"""Optimisers for the NumPy neural-network stack (SGD with momentum, Adam)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelConfigError
+
+
+class Optimizer:
+    """Base optimiser: updates parameters in place given (param, grad) pairs."""
+
+    def step(self, parameters: list[tuple[str, np.ndarray, np.ndarray]]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ModelConfigError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ModelConfigError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, parameters: list[tuple[str, np.ndarray, np.ndarray]]) -> None:
+        for _, param, grad in parameters:
+            key = id(param)
+            if self.momentum > 0.0:
+                velocity = self._velocity.setdefault(key, np.zeros_like(param))
+                velocity *= self.momentum
+                velocity -= self.learning_rate * grad
+                param += velocity
+            else:
+                param -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ModelConfigError("learning_rate must be positive")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ModelConfigError("beta1 and beta2 must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first_moment: dict[int, np.ndarray] = {}
+        self._second_moment: dict[int, np.ndarray] = {}
+        self._step_count: dict[int, int] = {}
+
+    def step(self, parameters: list[tuple[str, np.ndarray, np.ndarray]]) -> None:
+        for _, param, grad in parameters:
+            key = id(param)
+            m = self._first_moment.setdefault(key, np.zeros_like(param))
+            v = self._second_moment.setdefault(key, np.zeros_like(param))
+            t = self._step_count.get(key, 0) + 1
+            self._step_count[key] = t
+
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+
+            m_hat = m / (1.0 - self.beta1**t)
+            v_hat = v / (1.0 - self.beta2**t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

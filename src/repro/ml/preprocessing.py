@@ -1,0 +1,163 @@
+"""Dataset splitting and feature scaling utilities."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, ModelConfigError, NotFittedError
+
+T = TypeVar("T")
+
+
+def train_test_split_indices(
+    num_samples: int,
+    test_fraction: float = 0.2,
+    seed: int | None = 0,
+    stratify: Sequence[int] | np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``range(num_samples)`` into train and test index arrays.
+
+    Parameters
+    ----------
+    num_samples:
+        Total number of samples.
+    test_fraction:
+        Fraction of samples assigned to the test split.
+    seed:
+        RNG seed for the shuffle.
+    stratify:
+        Optional label vector; when given, each class is split separately so
+        the class mix is preserved (the paper's 80/20 splits are stratified
+        in effect because the survey data is large).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ModelConfigError("test_fraction must be in (0, 1)")
+    if num_samples <= 1:
+        raise ModelConfigError("need at least two samples to split")
+    rng = np.random.default_rng(seed)
+
+    if stratify is None:
+        order = rng.permutation(num_samples)
+        cut = max(1, int(round(num_samples * test_fraction)))
+        cut = min(cut, num_samples - 1)
+        return np.sort(order[cut:]), np.sort(order[:cut])
+
+    stratify = np.asarray(stratify)
+    if stratify.shape[0] != num_samples:
+        raise DimensionMismatchError(
+            f"stratify has {stratify.shape[0]} entries for {num_samples} samples"
+        )
+    train_parts: list[np.ndarray] = []
+    test_parts: list[np.ndarray] = []
+    for label in np.unique(stratify):
+        indices = np.flatnonzero(stratify == label)
+        order = rng.permutation(indices)
+        cut = int(round(len(indices) * test_fraction))
+        if len(indices) > 1:
+            cut = min(max(cut, 1), len(indices) - 1)
+        test_parts.append(order[:cut])
+        train_parts.append(order[cut:])
+    return (
+        np.sort(np.concatenate(train_parts)).astype(np.int64),
+        np.sort(np.concatenate(test_parts)).astype(np.int64),
+    )
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: int | None = 0,
+    stratify: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(X, y)`` into ``(X_train, X_test, y_train, y_test)``."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise DimensionMismatchError(
+            f"X and y disagree on sample count: {X.shape[0]} vs {y.shape[0]}"
+        )
+    train_idx, test_idx = train_test_split_indices(
+        X.shape[0],
+        test_fraction=test_fraction,
+        seed=seed,
+        stratify=y if stratify else None,
+    )
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class StandardScaler:
+    """Zero-mean unit-variance feature scaling (constant columns left as zero)."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise DimensionMismatchError(f"expected 2-D array, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError(self)
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class MinMaxScaler:
+    """Scale each feature into [0, 1] (constant columns map to 0)."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise DimensionMismatchError(f"expected 2-D array, got shape {X.shape}")
+        self.min_ = X.min(axis=0)
+        value_range = X.max(axis=0) - self.min_
+        value_range[value_range == 0.0] = 1.0
+        self.range_ = value_range
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotFittedError(self)
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def kfold_indices(
+    num_samples: int, num_folds: int = 5, seed: int | None = 0
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """K-fold cross-validation index pairs ``(train_idx, val_idx)``."""
+    if num_folds < 2:
+        raise ModelConfigError("num_folds must be >= 2")
+    if num_samples < num_folds:
+        raise ModelConfigError("num_samples must be >= num_folds")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_samples)
+    folds = np.array_split(order, num_folds)
+    pairs: list[tuple[np.ndarray, np.ndarray]] = []
+    for index in range(num_folds):
+        val_idx = np.sort(folds[index])
+        train_idx = np.sort(
+            np.concatenate([folds[j] for j in range(num_folds) if j != index])
+        )
+        pairs.append((train_idx, val_idx))
+    return pairs

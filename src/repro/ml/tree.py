@@ -1,0 +1,219 @@
+"""CART-style regression trees with second-order (Newton) split gain.
+
+These trees are the weak learners inside :class:`repro.ml.gbdt.GradientBoostedClassifier`.
+Each tree is fitted to per-sample gradients and hessians of the boosting
+objective, exactly as in the XGBoost formulation: a split's gain is
+
+``0.5 * (G_L²/(H_L+λ) + G_R²/(H_R+λ) - G²/(H+λ)) - γ``
+
+and the optimal leaf weight is ``-G/(H+λ)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, ModelConfigError, NotFittedError
+
+
+@dataclass
+class _TreeNode:
+    """A node of the regression tree (internal or leaf)."""
+
+    depth: int
+    value: float = 0.0
+    leaf_id: int = -1
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_TreeNode | None" = None
+    right: "_TreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+@dataclass
+class RegressionTreeConfig:
+    """Hyper-parameters of a gradient regression tree."""
+
+    max_depth: int = 3
+    min_samples_leaf: int = 2
+    reg_lambda: float = 1.0
+    gamma: float = 0.0
+    min_gain: float = 1e-7
+
+    def validate(self) -> None:
+        if self.max_depth < 1:
+            raise ModelConfigError("max_depth must be >= 1")
+        if self.min_samples_leaf < 1:
+            raise ModelConfigError("min_samples_leaf must be >= 1")
+        if self.reg_lambda < 0:
+            raise ModelConfigError("reg_lambda must be non-negative")
+
+
+class GradientRegressionTree:
+    """A single regression tree fitted to gradients/hessians.
+
+    Parameters
+    ----------
+    config:
+        Tree hyper-parameters (depth, regularisation, minimum leaf size).
+    """
+
+    def __init__(self, config: RegressionTreeConfig | None = None) -> None:
+        self.config = config or RegressionTreeConfig()
+        self.config.validate()
+        self.root_: _TreeNode | None = None
+        self.num_leaves_: int = 0
+
+    def fit(
+        self, X: np.ndarray, gradients: np.ndarray, hessians: np.ndarray
+    ) -> "GradientRegressionTree":
+        """Grow the tree greedily on ``(X, gradients, hessians)``."""
+        X = np.asarray(X, dtype=np.float64)
+        gradients = np.asarray(gradients, dtype=np.float64)
+        hessians = np.asarray(hessians, dtype=np.float64)
+        if X.ndim != 2:
+            raise DimensionMismatchError(f"X must be 2-D, got shape {X.shape}")
+        if gradients.shape != (X.shape[0],) or hessians.shape != (X.shape[0],):
+            raise DimensionMismatchError(
+                "gradients and hessians must be 1-D with one entry per sample"
+            )
+        self.num_leaves_ = 0
+        indices = np.arange(X.shape[0])
+        self.root_ = self._build(X, gradients, hessians, indices, depth=0)
+        return self
+
+    # ------------------------------------------------------------------ growth
+    def _build(
+        self,
+        X: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        indices: np.ndarray,
+        depth: int,
+    ) -> _TreeNode:
+        node = _TreeNode(depth=depth)
+        grad_sum = gradients[indices].sum()
+        hess_sum = hessians[indices].sum()
+        node.value = self._leaf_weight(grad_sum, hess_sum)
+
+        if depth >= self.config.max_depth or len(indices) < 2 * self.config.min_samples_leaf:
+            return self._finalise_leaf(node)
+
+        split = self._best_split(X, gradients, hessians, indices, grad_sum, hess_sum)
+        if split is None:
+            return self._finalise_leaf(node)
+
+        feature, threshold, left_idx, right_idx = split
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X, gradients, hessians, left_idx, depth + 1)
+        node.right = self._build(X, gradients, hessians, right_idx, depth + 1)
+        return node
+
+    def _finalise_leaf(self, node: _TreeNode) -> _TreeNode:
+        node.feature = None
+        node.leaf_id = self.num_leaves_
+        self.num_leaves_ += 1
+        return node
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        indices: np.ndarray,
+        grad_sum: float,
+        hess_sum: float,
+    ) -> tuple[int, float, np.ndarray, np.ndarray] | None:
+        """Exact greedy split search over all features and thresholds."""
+        lam = self.config.reg_lambda
+        parent_score = grad_sum * grad_sum / (hess_sum + lam)
+        best_gain = self.config.min_gain
+        best: tuple[int, float, np.ndarray, np.ndarray] | None = None
+
+        for feature in range(X.shape[1]):
+            values = X[indices, feature]
+            order = np.argsort(values, kind="mergesort")
+            sorted_idx = indices[order]
+            sorted_values = values[order]
+            grad_cum = np.cumsum(gradients[sorted_idx])
+            hess_cum = np.cumsum(hessians[sorted_idx])
+
+            for position in range(
+                self.config.min_samples_leaf - 1,
+                len(sorted_idx) - self.config.min_samples_leaf,
+            ):
+                # Cannot split between equal feature values.
+                if sorted_values[position] == sorted_values[position + 1]:
+                    continue
+                grad_left = grad_cum[position]
+                hess_left = hess_cum[position]
+                grad_right = grad_sum - grad_left
+                hess_right = hess_sum - hess_left
+                gain = 0.5 * (
+                    grad_left * grad_left / (hess_left + lam)
+                    + grad_right * grad_right / (hess_right + lam)
+                    - parent_score
+                ) - self.config.gamma
+                if gain > best_gain:
+                    threshold = 0.5 * (sorted_values[position] + sorted_values[position + 1])
+                    best_gain = gain
+                    best = (
+                        feature,
+                        float(threshold),
+                        sorted_idx[: position + 1],
+                        sorted_idx[position + 1 :],
+                    )
+        return best
+
+    def _leaf_weight(self, grad_sum: float, hess_sum: float) -> float:
+        return float(-grad_sum / (hess_sum + self.config.reg_lambda))
+
+    # --------------------------------------------------------------- inference
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted leaf weight for each row of ``X``."""
+        leaves = self._apply_nodes(X)
+        return np.array([leaf.value for leaf in leaves], dtype=np.float64)
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index (0-based, per tree) each row of ``X`` falls into."""
+        leaves = self._apply_nodes(X)
+        return np.array([leaf.leaf_id for leaf in leaves], dtype=np.int64)
+
+    def leaf_values(self, X: np.ndarray) -> np.ndarray:
+        """Leaf weight each row falls into (same as :meth:`predict`)."""
+        return self.predict(X)
+
+    def _apply_nodes(self, X: np.ndarray) -> list[_TreeNode]:
+        if self.root_ is None:
+            raise NotFittedError(self)
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        leaves: list[_TreeNode] = []
+        for row in X:
+            node = self.root_
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            leaves.append(node)
+        return leaves
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+        if self.root_ is None:
+            raise NotFittedError(self)
+        return _node_depth(self.root_)
+
+
+def _node_depth(node: _TreeNode) -> int:
+    if node.is_leaf:
+        return 0
+    assert node.left is not None and node.right is not None
+    return 1 + max(_node_depth(node.left), _node_depth(node.right))

@@ -1,0 +1,35 @@
+"""Distributed-processing substrate: sharding, executor and WeChat-scale cost model."""
+
+from repro.runtime.cost_model import (
+    ClusterSpec,
+    CostCalibration,
+    CostModel,
+    RuntimeEstimate,
+    WorkloadSpec,
+)
+from repro.runtime.executor import ExecutionReport, ShardedDivisionExecutor, ShardReport
+from repro.runtime.scalability import (
+    MeasuredPhaseTimes,
+    ScalabilityStudy,
+    measure_phases,
+    measure_worker_scaling,
+)
+from repro.runtime.sharding import Shard, shard_by_degree, shard_nodes
+
+__all__ = [
+    "Shard",
+    "shard_nodes",
+    "shard_by_degree",
+    "ShardedDivisionExecutor",
+    "ExecutionReport",
+    "ShardReport",
+    "CostModel",
+    "CostCalibration",
+    "ClusterSpec",
+    "WorkloadSpec",
+    "RuntimeEstimate",
+    "ScalabilityStudy",
+    "MeasuredPhaseTimes",
+    "measure_phases",
+    "measure_worker_scaling",
+]

@@ -1,0 +1,160 @@
+"""Scalability experiment driver (Table VI, Figure 12).
+
+Combines the two halves of the scalability story:
+
+1. **Measured** — run the real pipeline phases on synthetic networks of
+   increasing size (or with increasing worker counts) and record wall-clock
+   times, demonstrating the linear-in-nodes / inverse-in-workers behaviour on
+   hardware we actually have.
+2. **Projected** — feed per-item costs (either measured or back-solved from
+   the paper) into :class:`repro.runtime.cost_model.CostModel` to regenerate
+   the WeChat-scale numbers of Table VI and Figure 12.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.aggregation import FeatureMatrixBuilder
+from repro.core.division import divide
+from repro.runtime.cost_model import (
+    ClusterSpec,
+    CostCalibration,
+    CostModel,
+    RuntimeEstimate,
+    WorkloadSpec,
+)
+from repro.runtime.executor import ShardedDivisionExecutor
+from repro.synthetic.network import SocialNetworkDataset
+
+
+@dataclass
+class MeasuredPhaseTimes:
+    """Wall-clock seconds of a real (local) run of the three phases."""
+
+    num_nodes: int
+    num_edges: int
+    num_communities: int
+    phase1_seconds: float
+    phase2_seconds: float
+    phase3_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.phase1_seconds + self.phase2_seconds + self.phase3_seconds
+
+    def to_calibration(self, training_hours: float = 4.5) -> CostCalibration:
+        """Turn the measurements into a cost-model calibration."""
+        return CostCalibration.from_measurements(
+            phase1_seconds=self.phase1_seconds,
+            num_nodes=self.num_nodes,
+            phase2_seconds=self.phase2_seconds,
+            num_communities=self.num_communities,
+            phase3_seconds=self.phase3_seconds,
+            num_edges=self.num_edges,
+            training_hours=training_hours,
+        )
+
+
+def measure_phases(
+    dataset: SocialNetworkDataset,
+    k: int = 20,
+    detector: str = "girvan_newman",
+    max_egos: int | None = None,
+) -> MeasuredPhaseTimes:
+    """Time the three LoCEC phases on a real (synthetic) dataset.
+
+    ``max_egos`` limits Phase I to a node sample so the measurement fits in a
+    benchmark budget; per-item costs are unaffected because all phases are
+    per-item computations.
+    """
+    egos = list(dataset.graph.nodes())
+    if max_egos is not None:
+        egos = egos[:max_egos]
+
+    start = time.perf_counter()
+    division = divide(dataset.graph, egos=egos, detector=detector)
+    phase1_seconds = time.perf_counter() - start
+
+    builder = FeatureMatrixBuilder(dataset.features, dataset.interactions, k=k)
+    communities = list(division.all_communities())
+    start = time.perf_counter()
+    for community in communities:
+        builder.feature_matrix(community)
+    phase2_seconds = time.perf_counter() - start
+
+    # Phase III per-edge work: Equation 4 assembly is two dictionary lookups
+    # plus a concatenation; time it over the edges incident to the processed egos.
+    processed = set(egos)
+    edges = [
+        edge
+        for edge in dataset.graph.edges()
+        if edge[0] in processed or edge[1] in processed
+    ]
+    start = time.perf_counter()
+    for u, v in edges:
+        division.community_containing(v, u)
+        division.community_containing(u, v)
+    phase3_seconds = time.perf_counter() - start
+
+    return MeasuredPhaseTimes(
+        num_nodes=len(egos),
+        num_edges=len(edges),
+        num_communities=len(communities),
+        phase1_seconds=phase1_seconds,
+        phase2_seconds=phase2_seconds,
+        phase3_seconds=phase3_seconds,
+    )
+
+
+@dataclass
+class ScalabilityStudy:
+    """Generates the Table VI / Figure 12 numbers from a cost model."""
+
+    calibration: CostCalibration = field(default_factory=CostCalibration)
+
+    def table6(self) -> RuntimeEstimate:
+        """Table VI: full WeChat network on 100 servers."""
+        model = CostModel(self.calibration)
+        return model.estimate(WorkloadSpec(), ClusterSpec(num_servers=100))
+
+    def figure12a(
+        self, node_counts_millions: list[int] = (100, 200, 500, 1000)
+    ) -> list[tuple[int, RuntimeEstimate]]:
+        """Figure 12(a): run time vs number of input nodes (50 servers)."""
+        model = CostModel(self.calibration)
+        return model.sweep_nodes(
+            [count * 1_000_000 for count in node_counts_millions],
+            ClusterSpec(num_servers=50),
+        )
+
+    def figure12b(
+        self, server_counts: list[int] = (100, 150, 200)
+    ) -> list[tuple[int, RuntimeEstimate]]:
+        """Figure 12(b): run time vs number of servers (full network)."""
+        model = CostModel(self.calibration)
+        return model.sweep_servers(list(server_counts))
+
+
+def measure_worker_scaling(
+    dataset: SocialNetworkDataset,
+    worker_counts: list[int] = (1, 2, 4),
+    max_egos: int = 200,
+    detector: str = "label_propagation",
+) -> list[tuple[int, float]]:
+    """Measured Phase I makespan vs simulated worker count (local analogue of Fig. 12b).
+
+    Uses the shard makespan (slowest shard) under serial execution so the
+    result is deterministic and does not depend on the host's actual core
+    count.
+    """
+    egos = list(dataset.graph.nodes())[:max_egos]
+    results: list[tuple[int, float]] = []
+    for workers in worker_counts:
+        executor = ShardedDivisionExecutor(
+            num_shards=workers, num_workers=1, detector=detector
+        )
+        report = executor.run(dataset.graph, egos=egos)
+        results.append((workers, report.makespan_seconds))
+    return results

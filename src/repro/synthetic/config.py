@@ -1,0 +1,214 @@
+"""Configuration of the synthetic WeChat-like network generator.
+
+The generator substitutes for the proprietary WeChat data.  Its defaults are
+calibrated to the statistics the paper reports in Section II:
+
+* relationship-type mix of Table I (family 28 %, colleague 41 %, schoolmate
+  15 %, others 16 % of surveyed edges),
+* around 60 % of friend pairs with *no* interaction over the observation
+  window (Figure 4),
+* family circles smaller than colleague circles (Figure 13 discussion),
+* Moments interaction propensities per type of Figure 3 (everyone likes
+  pictures most; colleagues/schoolmates like articles more than family;
+  schoolmates like/comment on games most; colleagues rarely discuss games),
+* chat-group membership CDF of Figure 2 (family pairs share the fewest
+  common groups, colleagues the most),
+* only a small fraction of group names are type-indicative, so a rule-based
+  name classifier has high precision but very low recall (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import DatasetError
+from repro.types import InteractionDim, RelationType
+
+
+@dataclass
+class CircleConfig:
+    """Size and density parameters of one kind of social circle."""
+
+    min_size: int
+    max_size: int
+    intra_edge_prob: float
+    membership_prob: float
+    """Probability that a given user is assigned to a circle of this kind."""
+
+    def validate(self) -> None:
+        if self.min_size < 2 or self.max_size < self.min_size:
+            raise DatasetError("invalid circle size range")
+        if not 0.0 < self.intra_edge_prob <= 1.0:
+            raise DatasetError("intra_edge_prob must be in (0, 1]")
+        if not 0.0 <= self.membership_prob <= 1.0:
+            raise DatasetError("membership_prob must be in [0, 1]")
+
+
+@dataclass
+class InteractionProfile:
+    """Interaction propensities of one relationship type.
+
+    ``silent_prob`` is the probability that a friend pair has no interaction
+    at all; otherwise each dimension's count is Poisson with the given rate.
+    """
+
+    silent_prob: float
+    rates: dict[InteractionDim, float]
+
+    def validate(self) -> None:
+        if not 0.0 <= self.silent_prob < 1.0:
+            raise DatasetError("silent_prob must be in [0, 1)")
+        for rate in self.rates.values():
+            if rate < 0:
+                raise DatasetError("interaction rates must be non-negative")
+
+
+@dataclass
+class GroupConfig:
+    """Chat-group generation parameters per relationship type."""
+
+    groups_per_circle: float
+    """Expected number of chat groups spawned by one circle."""
+    member_participation: float
+    """Probability that a circle member joins a given circle group."""
+    indicative_name_prob: float
+    """Probability that a group name reveals the circle type (Table II)."""
+
+
+@dataclass
+class WeChatConfig:
+    """Full parameter set of the synthetic WeChat-like network."""
+
+    num_users: int = 1000
+    seed: int = 0
+
+    circles: dict[RelationType, CircleConfig] = field(
+        default_factory=lambda: {
+            RelationType.FAMILY: CircleConfig(
+                min_size=4, max_size=8, intra_edge_prob=0.85, membership_prob=0.95
+            ),
+            RelationType.COLLEAGUE: CircleConfig(
+                min_size=10, max_size=22, intra_edge_prob=0.45, membership_prob=0.85
+            ),
+            RelationType.SCHOOLMATE: CircleConfig(
+                min_size=6, max_size=18, intra_edge_prob=0.4, membership_prob=0.6
+            ),
+            RelationType.OTHER: CircleConfig(
+                min_size=4, max_size=12, intra_edge_prob=0.35, membership_prob=0.45
+            ),
+        }
+    )
+
+    random_edge_prob: float = 0.002
+    """Probability of a random "others" edge between any unrelated user pair
+    (scaled down with network size to keep the expected noise degree fixed)."""
+
+    interaction_profiles: dict[RelationType, InteractionProfile] = field(
+        default_factory=lambda: {
+            RelationType.FAMILY: InteractionProfile(
+                silent_prob=0.62,
+                rates={
+                    InteractionDim.MESSAGE: 2.2,
+                    InteractionDim.LIKE_PICTURE: 1.8,
+                    InteractionDim.LIKE_ARTICLE: 0.25,
+                    InteractionDim.LIKE_GAME: 0.05,
+                    InteractionDim.COMMENT_PICTURE: 1.1,
+                    InteractionDim.COMMENT_ARTICLE: 0.15,
+                    InteractionDim.COMMENT_GAME: 0.03,
+                },
+            ),
+            RelationType.COLLEAGUE: InteractionProfile(
+                silent_prob=0.58,
+                rates={
+                    InteractionDim.MESSAGE: 1.6,
+                    InteractionDim.LIKE_PICTURE: 1.4,
+                    InteractionDim.LIKE_ARTICLE: 1.1,
+                    InteractionDim.LIKE_GAME: 0.08,
+                    InteractionDim.COMMENT_PICTURE: 0.7,
+                    InteractionDim.COMMENT_ARTICLE: 0.8,
+                    InteractionDim.COMMENT_GAME: 0.04,
+                },
+            ),
+            RelationType.SCHOOLMATE: InteractionProfile(
+                silent_prob=0.55,
+                rates={
+                    InteractionDim.MESSAGE: 1.2,
+                    InteractionDim.LIKE_PICTURE: 1.5,
+                    InteractionDim.LIKE_ARTICLE: 0.7,
+                    InteractionDim.LIKE_GAME: 0.9,
+                    InteractionDim.COMMENT_PICTURE: 0.8,
+                    InteractionDim.COMMENT_ARTICLE: 0.4,
+                    InteractionDim.COMMENT_GAME: 0.7,
+                },
+            ),
+            RelationType.OTHER: InteractionProfile(
+                silent_prob=0.75,
+                rates={
+                    InteractionDim.MESSAGE: 0.4,
+                    InteractionDim.LIKE_PICTURE: 0.5,
+                    InteractionDim.LIKE_ARTICLE: 0.3,
+                    InteractionDim.LIKE_GAME: 0.15,
+                    InteractionDim.COMMENT_PICTURE: 0.2,
+                    InteractionDim.COMMENT_ARTICLE: 0.1,
+                    InteractionDim.COMMENT_GAME: 0.08,
+                },
+            ),
+        }
+    )
+
+    groups: dict[RelationType, GroupConfig] = field(
+        default_factory=lambda: {
+            RelationType.FAMILY: GroupConfig(
+                groups_per_circle=0.8, member_participation=0.75, indicative_name_prob=0.08
+            ),
+            RelationType.COLLEAGUE: GroupConfig(
+                groups_per_circle=2.2, member_participation=0.7, indicative_name_prob=0.03
+            ),
+            RelationType.SCHOOLMATE: GroupConfig(
+                groups_per_circle=1.6, member_participation=0.65, indicative_name_prob=0.06
+            ),
+            RelationType.OTHER: GroupConfig(
+                groups_per_circle=0.6, member_participation=0.5, indicative_name_prob=0.0
+            ),
+        }
+    )
+
+    # Survey parameters (Table I).
+    surveyed_user_fraction: float = 0.25
+    """Fraction of users invited to the (synthetic) survey."""
+    survey_friend_coverage: float = 0.85
+    """Probability that a surveyed user labels a given friend."""
+    survey_unknown_second_prob: float = 0.16
+    """Probability that the second category is left unspecified."""
+
+    def validate(self) -> None:
+        if self.num_users < 20:
+            raise DatasetError("num_users must be at least 20")
+        if not 0.0 <= self.random_edge_prob <= 1.0:
+            raise DatasetError("random_edge_prob must be in [0, 1]")
+        for circle in self.circles.values():
+            circle.validate()
+        for profile in self.interaction_profiles.values():
+            profile.validate()
+        if not 0.0 < self.surveyed_user_fraction <= 1.0:
+            raise DatasetError("surveyed_user_fraction must be in (0, 1]")
+        if not 0.0 < self.survey_friend_coverage <= 1.0:
+            raise DatasetError("survey_friend_coverage must be in (0, 1]")
+
+    @classmethod
+    def small(cls, seed: int = 0) -> "WeChatConfig":
+        """A ~300-user network for unit tests and quick examples."""
+        config = cls(num_users=300, seed=seed)
+        return config
+
+    @classmethod
+    def medium(cls, seed: int = 0) -> "WeChatConfig":
+        """A ~1,200-user network: the default experiment workload."""
+        config = cls(num_users=1200, seed=seed)
+        return config
+
+    @classmethod
+    def large(cls, seed: int = 0) -> "WeChatConfig":
+        """A ~4,000-user network for scalability measurements."""
+        config = cls(num_users=4000, seed=seed)
+        return config

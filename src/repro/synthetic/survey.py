@@ -1,0 +1,146 @@
+"""Synthetic user survey (the ground-truth collection process of Section II).
+
+The paper pays a sample of users to label the relationship type of their
+contacts; the first category is mandatory, the second optional.  This module
+simulates that process on a synthetic network, producing the
+:class:`repro.types.LabeledEdge` set (``E_labeled``) and the Table I style
+category statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.synthetic.config import WeChatConfig
+from repro.synthetic.network import SocialNetworkDataset
+from repro.types import (
+    Edge,
+    LabeledEdge,
+    Node,
+    RelationType,
+    SecondCategory,
+    canonical_edge,
+)
+
+#: Conditional second-category distribution given the first category,
+#: matching the ratios of Table I (renormalised within each first category).
+SECOND_CATEGORY_DISTRIBUTION: dict[RelationType, list[tuple[SecondCategory, float]]] = {
+    RelationType.FAMILY: [
+        (SecondCategory.KIN, 0.16 / 0.28),
+        (SecondCategory.IN_LAW, 0.05 / 0.28),
+        (SecondCategory.FAMILY_UNKNOWN, 0.07 / 0.28),
+    ],
+    RelationType.COLLEAGUE: [
+        (SecondCategory.CURRENT_COLLEAGUE, 0.14 / 0.41),
+        (SecondCategory.PAST_COLLEAGUE, 0.25 / 0.41),
+        (SecondCategory.COLLEAGUE_UNKNOWN, 0.03 / 0.41),
+    ],
+    RelationType.SCHOOLMATE: [
+        (SecondCategory.PRIMARY_SCHOOL, 0.02 / 0.15),
+        (SecondCategory.MIDDLE_SCHOOL, 0.04 / 0.15),
+        (SecondCategory.UNIVERSITY, 0.08 / 0.15),
+        (SecondCategory.SCHOOL_UNKNOWN, 0.01 / 0.15),
+    ],
+    RelationType.OTHER: [
+        (SecondCategory.INTEREST, 0.09 / 0.16),
+        (SecondCategory.BUSINESS, 0.01 / 0.16),
+        (SecondCategory.AGENT, 0.01 / 0.16),
+        (SecondCategory.OTHER_UNKNOWN, 0.05 / 0.16),
+    ],
+}
+
+
+@dataclass
+class SurveyResult:
+    """Output of the synthetic survey."""
+
+    surveyed_users: list[Node]
+    labeled_edges: list[LabeledEdge] = field(default_factory=list)
+
+    @property
+    def num_labeled(self) -> int:
+        return len(self.labeled_edges)
+
+    def first_category_ratios(self) -> dict[RelationType, float]:
+        """Fraction of labeled edges per first category (Table I, column 2)."""
+        total = len(self.labeled_edges)
+        if total == 0:
+            return {}
+        ratios: dict[RelationType, float] = {}
+        for relation in RelationType:
+            count = sum(1 for item in self.labeled_edges if item.label == relation)
+            if count:
+                ratios[relation] = count / total
+        return ratios
+
+    def second_category_ratios(self) -> dict[SecondCategory, float]:
+        """Fraction of labeled edges per second category (Table I, column 4)."""
+        total = len(self.labeled_edges)
+        if total == 0:
+            return {}
+        ratios: dict[SecondCategory, float] = {}
+        for item in self.labeled_edges:
+            if item.second_category is None:
+                continue
+            ratios[item.second_category] = ratios.get(item.second_category, 0.0) + 1
+        return {category: count / total for category, count in ratios.items()}
+
+    def major_type_edges(self) -> list[LabeledEdge]:
+        """Labeled edges restricted to the three major types (the paper's focus)."""
+        targets = set(RelationType.classification_targets())
+        return [item for item in self.labeled_edges if item.label in targets]
+
+
+def run_survey(
+    dataset: SocialNetworkDataset,
+    config: WeChatConfig | None = None,
+    seed: int | None = None,
+) -> SurveyResult:
+    """Simulate the user survey on a synthetic network.
+
+    A fraction of users is sampled; each surveyed user labels most of its
+    friends with their true first category, and — with probability
+    ``1 - survey_unknown_second_prob`` — a second category drawn from the
+    Table I conditional distribution.
+    """
+    config = config or dataset.config
+    rng = random.Random(config.seed + 7919 if seed is None else seed)
+
+    users = [node for node in dataset.graph.nodes() if dataset.graph.degree(node) > 0]
+    num_surveyed = max(1, int(round(len(users) * config.surveyed_user_fraction)))
+    surveyed = rng.sample(users, num_surveyed)
+
+    seen: set[Edge] = set()
+    labeled: list[LabeledEdge] = []
+    for user in surveyed:
+        for friend in dataset.graph.neighbors(user):
+            edge = canonical_edge(user, friend)
+            if edge in seen:
+                continue
+            if rng.random() >= config.survey_friend_coverage:
+                continue
+            seen.add(edge)
+            label = dataset.edge_types[edge]
+            second = _sample_second_category(label, config, rng)
+            labeled.append(
+                LabeledEdge(u=edge[0], v=edge[1], label=label, second_category=second)
+            )
+    return SurveyResult(surveyed_users=surveyed, labeled_edges=labeled)
+
+
+def _sample_second_category(
+    label: RelationType, config: WeChatConfig, rng: random.Random
+) -> SecondCategory | None:
+    if rng.random() < config.survey_unknown_second_prob:
+        return None
+    distribution = SECOND_CATEGORY_DISTRIBUTION.get(label)
+    if not distribution:
+        return None
+    threshold = rng.random()
+    cumulative = 0.0
+    for category, probability in distribution:
+        cumulative += probability
+        if threshold <= cumulative:
+            return category
+    return distribution[-1][0]

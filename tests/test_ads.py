@@ -1,0 +1,97 @@
+"""Tests for the social-advertising simulator (Figure 14 machinery)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ads import AdCategory, AdSimulator, Campaign, CtrModel
+from repro.exceptions import DatasetError
+from repro.types import RelationType
+
+
+class TestCampaignAndCtr:
+    def test_affine_relations(self):
+        assert AdCategory.FURNITURE.affine_relation is RelationType.FAMILY
+        assert AdCategory.MOBILE_GAME.affine_relation is RelationType.SCHOOLMATE
+
+    def test_campaign_validation(self):
+        with pytest.raises(DatasetError):
+            Campaign(AdCategory.FURNITURE, seeds=[], audience_size=10).validate()
+        with pytest.raises(DatasetError):
+            Campaign(AdCategory.FURNITURE, seeds=[1], audience_size=0).validate()
+
+    def test_ctr_interest_is_stable_per_user(self):
+        model = CtrModel(seed=0)
+        first = model.interest(AdCategory.FURNITURE, 42)
+        second = model.interest(AdCategory.FURNITURE, 42)
+        assert first == second
+        assert 0.0 <= first <= 1.0
+
+    def test_ctr_score_scales_with_activity(self):
+        model = CtrModel(seed=0)
+        low = model.score(AdCategory.MOBILE_GAME, 7, activity_level=0.2)
+        high = model.score(AdCategory.MOBILE_GAME, 7, activity_level=2.0)
+        assert high > low > 0.0
+
+
+class TestAdSimulator:
+    @pytest.fixture(scope="class")
+    def simulator(self, request):
+        workload = request.getfixturevalue("tiny_workload")
+        dataset = workload.dataset
+        return workload, AdSimulator(dataset, dict(dataset.edge_types), seed=0)
+
+    def _campaign(self, workload, category, num_seeds=30, audience=120):
+        rng = random.Random(3)
+        nodes = [n for n in workload.dataset.graph.nodes() if workload.dataset.graph.degree(n) >= 3]
+        return Campaign(category, seeds=rng.sample(nodes, num_seeds), audience_size=audience)
+
+    def test_audiences_exclude_seeds(self, simulator):
+        workload, sim = simulator
+        campaign = self._campaign(workload, AdCategory.FURNITURE)
+        for audience in (
+            sim.select_relation_audience(campaign),
+            sim.select_locec_audience(campaign),
+        ):
+            assert not set(audience) & set(campaign.seeds)
+            assert len(audience) <= campaign.audience_size
+
+    def test_locec_audience_is_type_enriched(self, simulator):
+        """The LoCEC audience must contain a larger share of users connected to a
+        seed by the affine relation than the Relation audience."""
+        workload, sim = simulator
+        campaign = self._campaign(workload, AdCategory.FURNITURE)
+        seeds = set(campaign.seeds)
+
+        def affine_share(audience):
+            hits = sum(
+                1 for user in audience if sim._has_affine_seed_friend(user, seeds, RelationType.FAMILY)
+            )
+            return hits / max(len(audience), 1)
+
+        relation_share = affine_share(sim.select_relation_audience(campaign))
+        locec_share = affine_share(sim.select_locec_audience(campaign))
+        assert locec_share >= relation_share
+
+    def test_outcome_rates_bounded(self, simulator):
+        workload, sim = simulator
+        campaign = self._campaign(workload, AdCategory.MOBILE_GAME)
+        outcomes = sim.compare_policies(campaign)
+        for outcome in outcomes.values():
+            assert 0.0 <= outcome.click_rate <= 1.0
+            assert 0.0 <= outcome.interact_rate <= 1.0
+            assert outcome.interactions <= outcome.clicks
+
+    def test_compare_policies_returns_both(self, simulator):
+        workload, sim = simulator
+        campaign = self._campaign(workload, AdCategory.FURNITURE)
+        outcomes = sim.compare_policies(campaign)
+        assert set(outcomes) == {"Relation", "LoCEC-CNN"}
+
+    def test_empty_audience_has_zero_rates(self, simulator):
+        _, sim = simulator
+        campaign = Campaign(AdCategory.FURNITURE, seeds=[0], audience_size=5)
+        outcome = sim.simulate(campaign, [], policy="Relation")
+        assert outcome.click_rate == 0.0 and outcome.interact_rate == 0.0

@@ -1,0 +1,148 @@
+"""Integration tests for the full LoCEC pipeline (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LoCEC, LoCECConfig
+from repro.exceptions import NotFittedError, PipelineError
+from repro.types import RelationType
+
+
+@pytest.fixture(scope="module")
+def fitted_xgb(request):
+    """A LoCEC-XGB pipeline fitted on the tiny shared workload."""
+    workload = request.getfixturevalue("tiny_workload")
+    config = LoCECConfig.locec_xgb(seed=0)
+    config.gbdt.num_rounds = 15
+    pipeline = LoCEC(config)
+    pipeline.fit(
+        workload.dataset.graph,
+        workload.dataset.features,
+        workload.dataset.interactions,
+        workload.train_edges,
+        division=workload.division(),
+    )
+    return workload, pipeline
+
+
+class TestPipelineFit:
+    def test_fit_requires_labeled_edges(self, tiny_workload):
+        pipeline = LoCEC(LoCECConfig.locec_xgb())
+        with pytest.raises(PipelineError):
+            pipeline.fit(
+                tiny_workload.dataset.graph,
+                tiny_workload.dataset.features,
+                tiny_workload.dataset.interactions,
+                [],
+            )
+
+    def test_unfitted_pipeline_refuses_to_predict(self):
+        with pytest.raises(NotFittedError):
+            LoCEC().predict_edges([(1, 2)])
+
+    def test_fit_summary_counts(self, fitted_xgb):
+        workload, pipeline = fitted_xgb
+        summary = pipeline.fit_summary_
+        assert summary is not None
+        assert summary.num_egos == workload.dataset.num_users
+        assert summary.num_communities > summary.num_egos  # several circles per ego
+        assert summary.num_labeled_communities > 0
+        assert summary.num_training_edges == len(workload.train_edges)
+        assert summary.timings.total > 0.0
+
+    def test_phase_timings_dict(self, fitted_xgb):
+        _, pipeline = fitted_xgb
+        timings = pipeline.fit_summary_.timings.as_dict()
+        assert set(timings) == {
+            "training",
+            "phase1_division",
+            "phase2_aggregation",
+            "phase3_combination",
+            "total",
+        }
+
+
+class TestPipelinePredictions:
+    def test_predict_edges_returns_relation_types(self, fitted_xgb):
+        workload, pipeline = fitted_xgb
+        edges = [item.edge for item in workload.test_edges[:10]]
+        predictions = pipeline.predict_edges(edges)
+        assert len(predictions) == len(edges)
+        assert all(isinstance(label, RelationType) for label in predictions)
+        assert all(
+            label in RelationType.classification_targets() for label in predictions
+        )
+
+    def test_predict_proba_rows_sum_to_one(self, fitted_xgb):
+        workload, pipeline = fitted_xgb
+        edges = [item.edge for item in workload.test_edges[:10]]
+        probabilities = pipeline.predict_edge_proba(edges)
+        assert probabilities.shape == (len(edges), 3)
+        np.testing.assert_allclose(probabilities.sum(axis=1), np.ones(len(edges)), atol=1e-9)
+
+    def test_single_edge_prediction(self, fitted_xgb):
+        workload, pipeline = fitted_xgb
+        u, v = workload.test_edges[0].edge
+        assert isinstance(pipeline.predict_edge(u, v), RelationType)
+
+    def test_evaluation_beats_majority_baseline(self, fitted_xgb):
+        workload, pipeline = fitted_xgb
+        report = pipeline.evaluate(workload.test_edges)
+        assert report.overall is not None
+        # The aggregated-feature pipeline must clearly beat a majority guess.
+        assert report.overall.f1 > 0.6
+
+    def test_agreement_rule_is_usable_but_not_better(self, fitted_xgb):
+        workload, pipeline = fitted_xgb
+        edges = [item.edge for item in workload.test_edges]
+        y_true = np.array([int(item.label) for item in workload.test_edges])
+        naive = pipeline.agreement_rule_predictions(edges)
+        learned = np.array([int(x) for x in pipeline.predict_edges(edges)])
+        naive_accuracy = float((naive == y_true).mean())
+        learned_accuracy = float((learned == y_true).mean())
+        assert naive_accuracy > 0.3
+        assert learned_accuracy >= naive_accuracy - 0.05
+
+
+class TestNetworkClassification:
+    def test_classify_communities_covers_division(self, fitted_xgb):
+        workload, pipeline = fitted_xgb
+        classifications = pipeline.classify_communities()
+        assert len(classifications) == workload.division().num_communities
+        for item in classifications[:20]:
+            assert item.label in RelationType.classification_targets()
+            assert len(item.probabilities) == 3
+
+    def test_classify_network_distributions(self, fitted_xgb):
+        workload, pipeline = fitted_xgb
+        result = pipeline.classify_network()
+        assert result.num_edges == workload.dataset.num_edges
+        community_dist = result.community_type_distribution()
+        edge_dist = result.edge_type_distribution()
+        assert sum(community_dist.values()) == pytest.approx(1.0)
+        assert sum(edge_dist.values()) == pytest.approx(1.0)
+
+    def test_classify_network_subset_of_edges(self, fitted_xgb):
+        workload, pipeline = fitted_xgb
+        some_edges = [item.edge for item in workload.test_edges[:5]]
+        result = pipeline.classify_network(edges=some_edges)
+        assert result.num_edges == 5
+
+
+class TestDetectorAblation:
+    def test_label_propagation_detector_pipeline(self, tiny_workload):
+        config = LoCECConfig.locec_xgb(community_detector="label_propagation", seed=0)
+        config.gbdt.num_rounds = 10
+        pipeline = LoCEC(config)
+        pipeline.fit(
+            tiny_workload.dataset.graph,
+            tiny_workload.dataset.features,
+            tiny_workload.dataset.interactions,
+            tiny_workload.train_edges,
+            division=tiny_workload.division("label_propagation"),
+        )
+        report = pipeline.evaluate(tiny_workload.test_edges)
+        assert report.overall is not None
+        assert report.overall.f1 > 0.5

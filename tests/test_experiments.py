@@ -1,0 +1,136 @@
+"""Tests for the experiment harness (registry + the cheap experiments end to end)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    EDGE_METHODS,
+    ExperimentResult,
+    evaluate_method,
+    exp_fig2,
+    exp_fig3,
+    exp_fig4,
+    exp_fig10,
+    exp_fig12,
+    exp_table1,
+    exp_table2,
+    exp_table6,
+    overall_f1,
+)
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.types import RelationType
+
+
+class TestHarness:
+    def test_registry_contains_every_paper_artifact(self):
+        ids = list_experiments()
+        for expected in (
+            "table1",
+            "table2",
+            "table4",
+            "table5",
+            "table6",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+        ):
+            assert expected in ids
+
+    def test_registry_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("table99")
+
+    def test_result_rendering(self):
+        result = ExperimentResult(
+            experiment_id="x", title="demo", rows=[{"a": 1, "b": 0.5}], notes="n"
+        )
+        text = result.to_text()
+        assert "demo" in text and "0.500" in text and "note: n" in text
+        empty = ExperimentResult(experiment_id="y", title="empty")
+        assert "(no rows)" in empty.to_text()
+
+    def test_evaluate_method_rejects_unknown(self, tiny_workload):
+        with pytest.raises(ExperimentError):
+            evaluate_method("SVM", tiny_workload)
+
+    def test_edge_methods_constant(self):
+        assert "LoCEC-CNN" in EDGE_METHODS and "ProbWP" in EDGE_METHODS
+
+
+class TestCheapExperiments:
+    def test_table1(self, tiny_workload):
+        result = exp_table1.run(workload=tiny_workload)
+        assert result.experiment_id == "table1"
+        assert len(result.rows) >= 8
+        first_ratios = {row["First Category"]: row["First Ratio"] for row in result.rows}
+        assert first_ratios["Colleague"] > first_ratios["Schoolmates"]
+
+    def test_table2_high_precision_low_recall(self, tiny_workload):
+        result = exp_table2.run(workload=tiny_workload)
+        recalls = [row["Recall"] for row in result.rows]
+        assert all(recall < 0.5 for recall in recalls)
+
+    def test_table6_matches_paper(self):
+        result = exp_table6.run()
+        row = result.rows[0]
+        assert row["Total"] == pytest.approx(73.7, rel=0.01)
+
+    def test_table6_measured_calibration(self, tiny_workload):
+        result = exp_table6.run(
+            workload=tiny_workload, calibrate_from_measurement=True, max_egos=15
+        )
+        assert result.rows[0]["Phase I"] > 0.0
+
+    def test_fig2_shape(self, tiny_workload):
+        result = exp_fig2.run(workload=tiny_workload)
+        zero_row = result.rows[0]
+        assert zero_row["Family members"] > zero_row["Colleagues"]
+
+    def test_fig3_game_shape(self, tiny_workload):
+        result = exp_fig3.run(workload=tiny_workload)
+        like_rows = {row["Relationship"]: row for row in result.rows if row["Behaviour"] == "like"}
+        assert like_rows["Schoolmates"]["Games"] > like_rows["Colleague"]["Games"]
+
+    def test_fig4_shape(self, tiny_workload):
+        result = exp_fig4.run(workload=tiny_workload)
+        zero_row = result.rows[0]
+        for column in ("Family members", "Colleagues", "Schoolmates"):
+            assert 0.4 <= zero_row[column] <= 0.8
+
+    def test_fig10a_cdf(self, tiny_workload):
+        result = exp_fig10.run_size_cdf(workload=tiny_workload)
+        values = [row["CDF"] for row in result.rows]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_fig12_shapes(self):
+        result = exp_fig12.run()
+        panel_a = [row for row in result.rows if row["Panel"] == "a"]
+        panel_b = [row for row in result.rows if row["Panel"] == "b"]
+        totals_a = [row["Total (h)"] for row in panel_a]
+        totals_b = [row["Total (h)"] for row in panel_b]
+        assert totals_a == sorted(totals_a)
+        assert totals_b == sorted(totals_b, reverse=True)
+
+
+class TestEvaluateMethodIntegration:
+    @pytest.mark.parametrize("method", ["ProbWP", "Economix", "XGBoost"])
+    def test_baselines_beat_chance(self, tiny_workload, method):
+        report = evaluate_method(method, tiny_workload, seed=1)
+        assert overall_f1(report) > 0.35
+
+    def test_locec_xgb_beats_raw_xgboost(self, tiny_workload):
+        locec = evaluate_method("LoCEC-XGB", tiny_workload, seed=1)
+        raw = evaluate_method("XGBoost", tiny_workload, seed=1)
+        assert overall_f1(locec) > overall_f1(raw)
+
+    def test_report_covers_three_classes(self, tiny_workload):
+        report = evaluate_method("XGBoost", tiny_workload, seed=1)
+        assert set(report.per_class) == set(RelationType.classification_targets())

@@ -1,0 +1,223 @@
+"""Tests for the Graph class, ego-network extraction and structural metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError, SelfLoopError
+from repro.graph import Graph, ego_network, ego_network_size, ego_networks
+from repro.graph.metrics import (
+    average_clustering,
+    average_degree,
+    common_neighbors,
+    degree_histogram,
+    density,
+    edge_count_within,
+    is_connected,
+    jaccard_similarity,
+    local_clustering,
+    shortest_path_lengths,
+)
+
+
+class TestGraphBasics:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_add_edge_creates_endpoints(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        assert graph.has_node(1) and graph.has_node(2)
+        assert graph.has_edge(1, 2) and graph.has_edge(2, 1)
+
+    def test_add_duplicate_edge_is_idempotent(self):
+        graph = Graph(edges=[(1, 2), (1, 2), (2, 1)])
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(SelfLoopError):
+            graph.add_edge(3, 3)
+
+    def test_add_node_isolated(self):
+        graph = Graph()
+        graph.add_node(9)
+        assert graph.has_node(9)
+        assert graph.degree(9) == 0
+
+    def test_remove_edge(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.has_node(1)
+        assert graph.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph(edges=[(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(1, 3)
+
+    def test_remove_node_drops_incident_edges(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        graph.remove_node(2)
+        assert not graph.has_node(2)
+        assert graph.num_edges == 1
+        assert graph.has_edge(1, 3)
+
+    def test_remove_missing_node_raises(self):
+        graph = Graph()
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node(1)
+
+    def test_neighbors_of_missing_node_raises(self):
+        graph = Graph()
+        with pytest.raises(NodeNotFoundError):
+            graph.neighbors(1)
+
+    def test_degree_and_degrees(self, fig7_graph):
+        assert fig7_graph.degree(1) == 5
+        degrees = fig7_graph.degrees()
+        assert degrees[1] == 5
+        assert sum(degrees.values()) == 2 * fig7_graph.num_edges
+
+    def test_edges_are_reported_once(self, triangle_graph):
+        edges = list(triangle_graph.edges())
+        assert len(edges) == 3
+        assert len(set(edges)) == 3
+
+    def test_subgraph_induces_only_given_nodes(self, fig7_graph):
+        sub = fig7_graph.subgraph([2, 3, 4, 99])
+        assert set(sub.nodes()) == {2, 3, 4}
+        assert sub.num_edges == 3
+
+    def test_subgraph_ignores_missing_nodes(self):
+        graph = Graph(edges=[(1, 2)])
+        sub = graph.subgraph([1, 5])
+        assert set(sub.nodes()) == {1}
+
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.remove_edge(1, 2)
+        assert triangle_graph.has_edge(1, 2)
+        assert not clone.has_edge(1, 2)
+
+    def test_equality(self):
+        a = Graph(edges=[(1, 2), (2, 3)])
+        b = Graph(edges=[(2, 3), (1, 2)])
+        assert a == b
+        b.add_edge(3, 4)
+        assert a != b
+
+    def test_len_iter_contains(self, triangle_graph):
+        assert len(triangle_graph) == 3
+        assert set(iter(triangle_graph)) == {1, 2, 3}
+        assert 2 in triangle_graph
+        assert 9 not in triangle_graph
+
+    def test_repr_mentions_counts(self, triangle_graph):
+        assert "num_nodes=3" in repr(triangle_graph)
+
+    def test_neighbor_list_is_a_copy(self, triangle_graph):
+        listed = triangle_graph.neighbor_list(1)
+        listed.append(99)
+        assert 99 not in triangle_graph.neighbors(1)
+
+
+class TestEgoNetwork:
+    def test_paper_example_ego_network(self, fig7_graph):
+        ego = ego_network(fig7_graph, 1)
+        assert set(ego.nodes()) == {2, 3, 4, 5, 6}
+        assert ego.has_edge(2, 3) and ego.has_edge(5, 6) and ego.has_edge(4, 6)
+        # Edges incident to the ego node are dropped.
+        assert not ego.has_node(1)
+
+    def test_ego_network_contains_isolated_friends(self):
+        graph = Graph(edges=[(0, 1), (0, 2)])
+        ego = ego_network(graph, 0)
+        assert set(ego.nodes()) == {1, 2}
+        assert ego.num_edges == 0
+
+    def test_ego_network_of_leaf_node(self, fig7_graph):
+        ego = ego_network(fig7_graph, 9)
+        assert set(ego.nodes()) == {6}
+        assert ego.num_edges == 0
+
+    def test_ego_networks_default_covers_all_nodes(self, triangle_graph):
+        results = dict(ego_networks(triangle_graph))
+        assert set(results) == {1, 2, 3}
+
+    def test_ego_networks_subset(self, fig7_graph):
+        results = dict(ego_networks(fig7_graph, egos=[1, 5]))
+        assert set(results) == {1, 5}
+
+    def test_ego_network_size_matches_materialised(self, fig7_graph):
+        for node in fig7_graph.nodes():
+            friends, edges = ego_network_size(fig7_graph, node)
+            ego = ego_network(fig7_graph, node)
+            assert friends == ego.num_nodes
+            assert edges == ego.num_edges
+
+    def test_ego_network_of_missing_node_raises(self, fig7_graph):
+        with pytest.raises(NodeNotFoundError):
+            ego_network(fig7_graph, 42)
+
+
+class TestMetrics:
+    def test_density_of_clique(self, triangle_graph):
+        assert density(triangle_graph) == pytest.approx(1.0)
+
+    def test_density_of_trivial_graphs(self):
+        assert density(Graph()) == 0.0
+        assert density(Graph(nodes=[1])) == 0.0
+
+    def test_local_clustering_triangle(self, triangle_graph):
+        assert local_clustering(triangle_graph, 1) == pytest.approx(1.0)
+
+    def test_local_clustering_star_center_is_zero(self):
+        star = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert local_clustering(star, 0) == 0.0
+
+    def test_average_clustering_bounds(self, fig7_graph):
+        value = average_clustering(fig7_graph)
+        assert 0.0 <= value <= 1.0
+
+    def test_degree_histogram_sums_to_node_count(self, fig7_graph):
+        histogram = degree_histogram(fig7_graph)
+        assert sum(histogram.values()) == fig7_graph.num_nodes
+
+    def test_average_degree(self, triangle_graph):
+        assert average_degree(triangle_graph) == pytest.approx(2.0)
+
+    def test_shortest_path_lengths(self, two_cliques_graph):
+        lengths = shortest_path_lengths(two_cliques_graph, 0)
+        assert lengths[3] == 1
+        assert lengths[4] == 2
+        assert lengths[7] == 3
+
+    def test_is_connected(self, two_cliques_graph):
+        assert is_connected(two_cliques_graph)
+        two_cliques_graph.remove_edge(3, 4)
+        assert not is_connected(two_cliques_graph)
+
+    def test_is_connected_empty_graph(self):
+        assert is_connected(Graph())
+
+    def test_common_neighbors(self, fig7_graph):
+        assert common_neighbors(fig7_graph, 2, 3) == {1, 4}
+
+    def test_jaccard_similarity_bounds_and_symmetry(self, fig7_graph):
+        value = jaccard_similarity(fig7_graph, 2, 3)
+        assert 0.0 < value <= 1.0
+        assert value == pytest.approx(jaccard_similarity(fig7_graph, 3, 2))
+
+    def test_jaccard_similarity_disjoint(self):
+        graph = Graph(edges=[(1, 2), (3, 4)])
+        assert jaccard_similarity(graph, 1, 3) == 0.0
+
+    def test_edge_count_within(self, fig7_graph):
+        assert edge_count_within(fig7_graph, [2, 3, 4]) == 3
+        assert edge_count_within(fig7_graph, [5, 6]) == 1
+        assert edge_count_within(fig7_graph, []) == 0

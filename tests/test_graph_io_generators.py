@@ -1,0 +1,178 @@
+"""Tests for graph IO and the random-graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph import (
+    Graph,
+    InteractionStore,
+    NodeFeatureStore,
+    load_dataset_json,
+    read_edge_list,
+    read_labeled_edges,
+    save_dataset_json,
+    write_edge_list,
+    write_labeled_edges,
+)
+from repro.graph.generators import (
+    barabasi_albert,
+    clique,
+    erdos_renyi,
+    paper_figure1_network,
+    paper_figure7_network,
+    planted_partition,
+)
+from repro.types import InteractionDim, LabeledEdge, RelationType
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path, fig7_graph):
+        path = tmp_path / "edges.tsv"
+        write_edge_list(fig7_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == fig7_graph
+
+    def test_read_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("# comment\n\n1\t2\n2 3\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_read_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("justonetoken\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
+    def test_node_type_conversion(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a b\n")
+        graph = read_edge_list(path, node_type=str)
+        assert graph.has_edge("a", "b")
+
+
+class TestLabeledEdgeIO:
+    def test_round_trip(self, tmp_path):
+        labels = [
+            LabeledEdge(1, 2, RelationType.FAMILY),
+            LabeledEdge(2, 3, RelationType.SCHOOLMATE),
+        ]
+        path = tmp_path / "labels.tsv"
+        write_labeled_edges(labels, path)
+        loaded = read_labeled_edges(path)
+        assert {item.edge for item in loaded} == {item.edge for item in labels}
+        assert {item.label for item in loaded} == {item.label for item in labels}
+
+    def test_unknown_label_raises(self, tmp_path):
+        path = tmp_path / "labels.tsv"
+        path.write_text("1\t2\tNOT_A_TYPE\n")
+        with pytest.raises(DatasetError):
+            read_labeled_edges(path)
+
+    def test_missing_column_raises(self, tmp_path):
+        path = tmp_path / "labels.tsv"
+        path.write_text("1\t2\n")
+        with pytest.raises(DatasetError):
+            read_labeled_edges(path)
+
+
+class TestDatasetJson:
+    def test_full_round_trip(self, tmp_path, fig7_graph):
+        features = NodeFeatureStore(["gender"])
+        features.set(1, [1.0])
+        interactions = InteractionStore(num_dims=2)
+        interactions.record(1, 2, 0, 3)
+        labels = [LabeledEdge(1, 2, RelationType.COLLEAGUE)]
+
+        path = tmp_path / "dataset.json"
+        save_dataset_json(path, fig7_graph, features, interactions, labels)
+        graph, loaded_features, loaded_interactions, loaded_labels = load_dataset_json(path)
+
+        assert graph == fig7_graph
+        assert loaded_features is not None
+        np.testing.assert_allclose(loaded_features.get(1), [1.0])
+        assert loaded_interactions is not None
+        assert loaded_interactions.get(1, 2, 0) == 3.0
+        assert loaded_labels[0].label is RelationType.COLLEAGUE
+
+    def test_graph_only_round_trip(self, tmp_path):
+        graph = Graph(edges=[(1, 2)])
+        graph.add_node(5)
+        path = tmp_path / "dataset.json"
+        save_dataset_json(path, graph)
+        loaded, features, interactions, labels = load_dataset_json(path)
+        assert loaded == graph
+        assert features is None and interactions is None and labels == []
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(DatasetError):
+            load_dataset_json(path)
+
+    def test_wrong_format_marker_raises(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(DatasetError):
+            load_dataset_json(path)
+
+
+class TestGenerators:
+    def test_erdos_renyi_determinism_and_bounds(self):
+        a = erdos_renyi(30, 0.2, seed=7)
+        b = erdos_renyi(30, 0.2, seed=7)
+        assert a == b
+        assert a.num_nodes == 30
+        assert 0 <= a.num_edges <= 30 * 29 / 2
+
+    def test_erdos_renyi_extreme_probabilities(self):
+        assert erdos_renyi(10, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi(10, 1.0, seed=0).num_edges == 45
+
+    def test_erdos_renyi_validation(self):
+        with pytest.raises(DatasetError):
+            erdos_renyi(-1, 0.5)
+        with pytest.raises(DatasetError):
+            erdos_renyi(10, 1.5)
+
+    def test_barabasi_albert_size_and_min_degree(self):
+        graph = barabasi_albert(50, 3, seed=0)
+        assert graph.num_nodes == 50
+        assert min(graph.degrees().values()) >= 3
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(DatasetError):
+            barabasi_albert(5, 5)
+        with pytest.raises(DatasetError):
+            barabasi_albert(10, 0)
+
+    def test_planted_partition_structure(self):
+        graph, communities = planted_partition([8, 8], 1.0, 0.0, seed=0)
+        assert graph.num_nodes == 16
+        assert len(communities) == 2
+        # No inter-community edges were sampled.
+        for u in communities[0]:
+            for v in communities[1]:
+                assert not graph.has_edge(u, v)
+
+    def test_planted_partition_validation(self):
+        with pytest.raises(DatasetError):
+            planted_partition([5, 5], 0.1, 0.5)
+
+    def test_clique_generator(self):
+        graph = clique(5, offset=10)
+        assert set(graph.nodes()) == set(range(10, 15))
+        assert graph.num_edges == 10
+
+    def test_paper_figure7_matches_description(self):
+        graph = paper_figure7_network()
+        assert graph.num_nodes == 9
+        assert graph.degree(1) == 5
+
+    def test_paper_figure1_has_u1_with_five_friends(self):
+        graph = paper_figure1_network()
+        assert graph.degree(1) == 5
+        assert graph.has_edge(2, 7)

@@ -1,0 +1,196 @@
+"""Tests for logistic regression, regression trees and gradient boosting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DimensionMismatchError,
+    ModelConfigError,
+    NotFittedError,
+)
+from repro.ml import (
+    GradientBoostedClassifier,
+    GradientRegressionTree,
+    LogisticRegression,
+    RegressionTreeConfig,
+)
+
+
+def _linearly_separable(n: int = 120, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+def _three_class_blobs(n: int = 150, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+    X = np.vstack([rng.normal(loc=center, scale=0.6, size=(n // 3, 2)) for center in centers])
+    y = np.repeat(np.arange(3), n // 3)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_learns_linear_boundary(self):
+        X, y = _linearly_separable()
+        model = LogisticRegression(num_iterations=400).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_three_class_problem(self):
+        X, y = _three_class_blobs()
+        model = LogisticRegression(num_iterations=400).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+        probabilities = model.predict_proba(X)
+        np.testing.assert_allclose(probabilities.sum(axis=1), np.ones(len(y)), atol=1e-9)
+
+    def test_loss_decreases(self):
+        X, y = _linearly_separable()
+        model = LogisticRegression(num_iterations=200).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((2, 3)))
+
+    def test_single_row_prediction(self):
+        X, y = _linearly_separable()
+        model = LogisticRegression(num_iterations=100).fit(X, y)
+        assert model.predict_proba(X[0]).shape == (1, 2)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ModelConfigError):
+            LogisticRegression(learning_rate=0.0)
+        with pytest.raises(ModelConfigError):
+            LogisticRegression(num_iterations=0)
+        with pytest.raises(ModelConfigError):
+            LogisticRegression(l2=-1.0)
+
+    def test_single_class_rejected(self):
+        X = np.zeros((5, 2))
+        y = np.zeros(5, dtype=int)
+        with pytest.raises(ModelConfigError):
+            LogisticRegression().fit(X, y)
+
+    def test_explicit_num_classes_allows_missing_class_in_train(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 0, 1])
+        model = LogisticRegression(num_classes=3, num_iterations=50).fit(X, y)
+        assert model.predict_proba(X).shape == (3, 3)
+
+
+class TestRegressionTree:
+    def test_fits_a_simple_step_function(self):
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        gradients = np.where(X[:, 0] < 0.5, -1.0, 1.0)
+        hessians = np.ones(50)
+        tree = GradientRegressionTree(RegressionTreeConfig(max_depth=2)).fit(
+            X, gradients, hessians
+        )
+        predictions = tree.predict(X)
+        # Leaf weight is -G/(H+λ): negative gradients → positive weights.
+        assert predictions[0] > 0 > predictions[-1]
+
+    def test_respects_max_depth(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        gradients = rng.normal(size=200)
+        tree = GradientRegressionTree(RegressionTreeConfig(max_depth=2)).fit(
+            X, gradients, np.ones(200)
+        )
+        assert tree.depth <= 2
+
+    def test_pure_leaf_when_no_split_improves(self):
+        X = np.ones((10, 2))
+        gradients = np.full(10, -1.0)
+        tree = GradientRegressionTree().fit(X, gradients, np.ones(10))
+        assert tree.num_leaves_ == 1
+
+    def test_apply_returns_valid_leaf_ids(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        gradients = X[:, 0]
+        tree = GradientRegressionTree().fit(X, gradients, np.ones(100))
+        leaves = tree.apply(X)
+        assert leaves.min() >= 0
+        assert leaves.max() < tree.num_leaves_
+
+    def test_input_validation(self):
+        tree = GradientRegressionTree()
+        with pytest.raises(DimensionMismatchError):
+            tree.fit(np.zeros(5), np.zeros(5), np.ones(5))
+        with pytest.raises(DimensionMismatchError):
+            tree.fit(np.zeros((5, 2)), np.zeros(4), np.ones(5))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GradientRegressionTree().predict(np.zeros((2, 2)))
+
+    def test_config_validation(self):
+        with pytest.raises(ModelConfigError):
+            RegressionTreeConfig(max_depth=0).validate()
+        with pytest.raises(ModelConfigError):
+            RegressionTreeConfig(min_samples_leaf=0).validate()
+        with pytest.raises(ModelConfigError):
+            RegressionTreeConfig(reg_lambda=-1.0).validate()
+
+
+class TestGradientBoostedClassifier:
+    def test_binary_classification_accuracy(self):
+        X, y = _linearly_separable()
+        model = GradientBoostedClassifier(num_rounds=15).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_multiclass_classification_accuracy(self):
+        X, y = _three_class_blobs()
+        model = GradientBoostedClassifier(num_rounds=15).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_probabilities_are_normalised(self):
+        X, y = _three_class_blobs()
+        model = GradientBoostedClassifier(num_rounds=5).fit(X, y)
+        probabilities = model.predict_proba(X)
+        np.testing.assert_allclose(probabilities.sum(axis=1), np.ones(len(y)), atol=1e-9)
+
+    def test_training_loss_decreases(self):
+        X, y = _three_class_blobs()
+        model = GradientBoostedClassifier(num_rounds=10).fit(X, y)
+        assert model.train_loss_history_[-1] < model.train_loss_history_[0]
+
+    def test_leaf_embeddings_shapes(self):
+        X, y = _three_class_blobs(n=90)
+        model = GradientBoostedClassifier(num_rounds=4).fit(X, y)
+        values = model.leaf_values(X[:7])
+        indices = model.leaf_indices(X[:7])
+        assert values.shape == (7, 4 * 3)
+        assert indices.shape == (7, 4 * 3)
+        assert indices.dtype == np.int64
+        assert model.num_trees == 12
+
+    def test_subsampling_still_learns(self):
+        X, y = _linearly_separable(n=200)
+        model = GradientBoostedClassifier(num_rounds=20, subsample=0.6, seed=3).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostedClassifier().predict(np.zeros((2, 3)))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ModelConfigError):
+            GradientBoostedClassifier(num_rounds=0)
+        with pytest.raises(ModelConfigError):
+            GradientBoostedClassifier(learning_rate=0.0)
+        with pytest.raises(ModelConfigError):
+            GradientBoostedClassifier(subsample=0.0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ModelConfigError):
+            GradientBoostedClassifier().fit(np.zeros((4, 2)), np.zeros(4, dtype=int))
+
+    def test_single_row_prediction(self):
+        X, y = _linearly_separable()
+        model = GradientBoostedClassifier(num_rounds=3).fit(X, y)
+        assert model.predict_proba(X[0]).shape == (1, 2)

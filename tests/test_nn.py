@@ -1,0 +1,304 @@
+"""Tests for the NumPy neural-network stack (layers, losses, optimisers, models)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, ModelConfigError
+from repro.ml.nn import (
+    Adam,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalMaxPool2D,
+    MaxPool2D,
+    NeuralNetworkClassifier,
+    ParallelConcat,
+    ReLU,
+    SGD,
+    Sequential,
+    SoftmaxCrossEntropy,
+)
+
+
+def _numerical_gradient(function, array: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function w.r.t. ``array``."""
+    gradient = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = function()
+        flat[index] = original - epsilon
+        minus = function()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * epsilon)
+    return gradient
+
+
+class TestConv2D:
+    def test_output_shape(self, rng):
+        layer = Conv2D(1, 4, (3, 3))
+        out = layer.forward(rng.normal(size=(2, 1, 8, 6)))
+        assert out.shape == (2, 4, 6, 4)
+
+    def test_known_convolution_value(self):
+        layer = Conv2D(1, 1, (2, 2))
+        layer.weight[...] = np.ones((1, 1, 2, 2))
+        layer.bias[...] = 0.0
+        x = np.arange(9, dtype=float).reshape(1, 1, 3, 3)
+        out = layer.forward(x)
+        # Top-left window is [[0,1],[3,4]] -> sum 8.
+        assert out[0, 0, 0, 0] == pytest.approx(8.0)
+
+    def test_rejects_wrong_channel_count(self, rng):
+        layer = Conv2D(2, 3, (3, 3))
+        with pytest.raises(DimensionMismatchError):
+            layer.forward(rng.normal(size=(1, 1, 5, 5)))
+
+    def test_rejects_too_small_input(self, rng):
+        layer = Conv2D(1, 1, (3, 3))
+        with pytest.raises(DimensionMismatchError):
+            layer.forward(rng.normal(size=(1, 1, 2, 5)))
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        layer = Conv2D(1, 2, (2, 2), seed=1)
+        x = rng.normal(size=(3, 1, 4, 4))
+
+        def loss() -> float:
+            return float(layer.forward(x, training=True).sum())
+
+        loss()
+        layer.backward(np.ones((3, 2, 3, 3)))
+        numerical = _numerical_gradient(loss, layer.weight)
+        np.testing.assert_allclose(layer.grad_weight, numerical, atol=1e-4)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = Conv2D(1, 1, (2, 2), seed=2)
+        x = rng.normal(size=(1, 1, 4, 3))
+
+        def loss() -> float:
+            return float(layer.forward(x, training=True).sum())
+
+        loss()
+        dx = layer.backward(np.ones((1, 1, 3, 2)))
+        numerical = _numerical_gradient(loss, x)
+        np.testing.assert_allclose(dx, numerical, atol=1e-4)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ModelConfigError):
+            Conv2D(0, 1, (3, 3))
+        with pytest.raises(ModelConfigError):
+            Conv2D(1, 1, (0, 3))
+
+
+class TestPoolingAndActivation:
+    def test_relu_forward_and_backward(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 2.0], [3.0, -4.0]])
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out, [[0.0, 2.0], [3.0, 0.0]])
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_allclose(grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_maxpool_forward(self):
+        layer = MaxPool2D((2, 2))
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        layer = MaxPool2D((2, 2))
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        layer.forward(x, training=True)
+        dx = layer.backward(np.ones((1, 1, 2, 2)))
+        assert dx.sum() == pytest.approx(4.0)
+        assert dx[0, 0, 1, 1] == 1.0  # position of value 5
+
+    def test_maxpool_clamps_small_inputs(self, rng):
+        layer = MaxPool2D((2, 2))
+        out = layer.forward(rng.normal(size=(1, 3, 1, 5)))
+        assert out.shape == (1, 3, 1, 2)
+
+    def test_maxpool_rejects_bad_config(self):
+        with pytest.raises(ModelConfigError):
+            MaxPool2D((0, 2))
+
+    def test_global_maxpool_forward_backward(self):
+        layer = GlobalMaxPool2D()
+        x = np.arange(12, dtype=float).reshape(1, 2, 2, 3)
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out, [[5.0, 11.0]])
+        dx = layer.backward(np.array([[1.0, 2.0]]))
+        assert dx[0, 0, 1, 2] == 1.0
+        assert dx[0, 1, 1, 2] == 2.0
+        assert dx.sum() == pytest.approx(3.0)
+
+    def test_flatten_round_trip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(3, 2, 4, 5))
+        out = layer.forward(x, training=True)
+        assert out.shape == (3, 40)
+        assert layer.backward(out).shape == x.shape
+
+    def test_dropout_inference_is_identity(self, rng):
+        layer = Dropout(0.5)
+        x = rng.normal(size=(4, 10))
+        np.testing.assert_allclose(layer.forward(x, training=False), x)
+
+    def test_dropout_training_zeroes_some_units(self, rng):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((10, 100))
+        out = layer.forward(x, training=True)
+        assert (out == 0).sum() > 0
+        # Inverted dropout keeps the expectation roughly unchanged.
+        assert out.mean() == pytest.approx(1.0, abs=0.15)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ModelConfigError):
+            Dropout(1.0)
+
+
+class TestDense:
+    def test_forward_shape_and_validation(self, rng):
+        layer = Dense(4, 3)
+        out = layer.forward(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 3)
+        with pytest.raises(DimensionMismatchError):
+            layer.forward(rng.normal(size=(5, 2)))
+
+    def test_gradients_match_numerical(self, rng):
+        layer = Dense(3, 2, seed=0)
+        x = rng.normal(size=(4, 3))
+
+        def loss() -> float:
+            return float(layer.forward(x, training=True).sum())
+
+        loss()
+        dx = layer.backward(np.ones((4, 2)))
+        np.testing.assert_allclose(
+            layer.grad_weight, _numerical_gradient(loss, layer.weight), atol=1e-5
+        )
+        np.testing.assert_allclose(dx, _numerical_gradient(loss, x), atol=1e-5)
+
+    def test_parameters_exposed(self):
+        layer = Dense(2, 2)
+        names = [name for name, _, _ in layer.parameters()]
+        assert names == ["weight", "bias"]
+
+
+class TestLossAndOptimizers:
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-3
+
+    def test_cross_entropy_uniform_prediction(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.zeros((4, 3)), np.array([0, 1, 2, 0]))
+        assert value == pytest.approx(np.log(3.0))
+
+    def test_cross_entropy_gradient_matches_numerical(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 1])
+
+        def value() -> float:
+            return loss.forward(logits, labels)
+
+        value()
+        analytic = loss.backward()
+        numerical = _numerical_gradient(value, logits)
+        np.testing.assert_allclose(analytic, numerical, atol=1e-5)
+
+    def test_cross_entropy_validation(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(DimensionMismatchError):
+            loss.forward(np.zeros((2, 3)), np.array([0, 1, 2]))
+        with pytest.raises(DimensionMismatchError):
+            loss.forward(np.zeros(3), np.array([0]))
+
+    def test_sgd_moves_against_gradient(self):
+        param = np.array([1.0, 1.0])
+        grad = np.array([0.5, -0.5])
+        SGD(learning_rate=0.1).step([("w", param, grad)])
+        np.testing.assert_allclose(param, [0.95, 1.05])
+
+    def test_sgd_momentum_accumulates(self):
+        param = np.array([0.0])
+        grad = np.array([1.0])
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        optimizer.step([("w", param, grad)])
+        first = param.copy()
+        optimizer.step([("w", param, grad)])
+        assert abs(param[0] - first[0]) > 0.1  # second step is larger
+
+    def test_adam_reduces_quadratic_loss(self):
+        param = np.array([5.0])
+        optimizer = Adam(learning_rate=0.1)
+        for _ in range(200):
+            grad = 2.0 * param
+            optimizer.step([("w", param, grad)])
+        assert abs(param[0]) < 0.5
+
+    def test_optimizer_validation(self):
+        with pytest.raises(ModelConfigError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ModelConfigError):
+            Adam(beta1=1.0)
+
+
+class TestModelContainers:
+    def test_sequential_collects_parameters(self):
+        model = Sequential([Dense(3, 4), ReLU(), Dense(4, 2)])
+        assert len(model.parameters()) == 4
+
+    def test_parallel_concat_output_width(self, rng):
+        branches = ParallelConcat(
+            [
+                Sequential([Conv2D(1, 2, (2, 2)), Flatten()]),
+                Sequential([Conv2D(1, 3, (1, 4)), GlobalMaxPool2D()]),
+            ]
+        )
+        out = branches.forward(rng.normal(size=(2, 1, 4, 4)))
+        assert out.shape == (2, 2 * 3 * 3 + 3)
+
+    def test_parallel_concat_requires_2d_branches(self, rng):
+        branches = ParallelConcat([Sequential([Conv2D(1, 2, (2, 2))])])
+        with pytest.raises(ModelConfigError):
+            branches.forward(rng.normal(size=(1, 1, 4, 4)))
+
+    def test_parallel_concat_requires_branches(self):
+        with pytest.raises(ModelConfigError):
+            ParallelConcat([])
+
+    def test_classifier_learns_simple_task(self, rng):
+        X = rng.normal(size=(200, 6))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        model = Sequential([Dense(6, 16, seed=0), ReLU(), Dense(16, 2, seed=1)])
+        clf = NeuralNetworkClassifier(model, num_classes=2, epochs=30, batch_size=32)
+        clf.fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.9
+        assert clf.loss_history_[-1] < clf.loss_history_[0]
+
+    def test_classifier_validation(self):
+        model = Sequential([Dense(2, 2)])
+        with pytest.raises(ModelConfigError):
+            NeuralNetworkClassifier(model, num_classes=1)
+        clf = NeuralNetworkClassifier(model, num_classes=2)
+        with pytest.raises(ModelConfigError):
+            clf.fit(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_classifier_detects_wrong_output_width(self, rng):
+        model = Sequential([Dense(2, 5)])
+        clf = NeuralNetworkClassifier(model, num_classes=3, epochs=1)
+        with pytest.raises(ModelConfigError):
+            clf.fit(rng.normal(size=(8, 2)), np.zeros(8, dtype=int))
+
+    def test_num_parameters(self):
+        model = Sequential([Dense(3, 4), Dense(4, 2)])
+        clf = NeuralNetworkClassifier(model, num_classes=2)
+        assert clf.num_parameters() == (3 * 4 + 4) + (4 * 2 + 2)
