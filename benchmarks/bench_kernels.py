@@ -1,0 +1,53 @@
+"""Benchmark the CSR kernel layer against the dict-backend reference.
+
+Complements ``scripts/perf_report.py`` (which emits ``BENCH_kernels.json``
+for the regression gate) with pytest-benchmark timings that slot into the
+same harness as the paper-figure benchmarks.  Each benchmark asserts result
+parity, so a kernel that silently diverges fails here before it wins any
+speed contest.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.community.betweenness import edge_betweenness
+from repro.core.division import divide
+from repro.graph.csr import CSRGraph, edge_betweenness_csr, ego_network_csr
+from repro.graph.ego import ego_network
+
+
+def test_ego_extraction_csr(benchmark, bench_workload):
+    graph = bench_workload.dataset.graph
+    csr = CSRGraph.from_graph(graph)
+    nodes = list(graph.nodes())
+
+    def extract_all():
+        return [ego_network_csr(csr, ego) for ego in nodes]
+
+    nets = run_once(benchmark, extract_all)
+    assert nets[0] == ego_network(graph, nodes[0])
+
+
+def test_edge_betweenness_csr(benchmark, bench_workload):
+    graph = bench_workload.dataset.graph
+    nets = [ego_network(graph, ego) for ego in list(graph.nodes())[:40]]
+
+    def betweenness_all():
+        return [edge_betweenness_csr(net) for net in nets]
+
+    values = run_once(benchmark, betweenness_all)
+    reference = edge_betweenness(nets[0])
+    assert all(abs(values[0][e] - reference[e]) < 1e-9 for e in reference)
+
+
+def test_phase1_division_dict(benchmark, bench_workload):
+    graph = bench_workload.dataset.graph
+    result = run_once(benchmark, lambda: divide(graph, backend="dict"))
+    assert result.num_egos == graph.num_nodes
+
+
+def test_phase1_division_csr(benchmark, bench_workload):
+    graph = bench_workload.dataset.graph
+    result = run_once(benchmark, lambda: divide(graph, backend="csr"))
+    reference = bench_workload.division()
+    assert result.num_communities == reference.num_communities

@@ -68,8 +68,14 @@ def girvan_newman_levels(graph: Graph) -> Iterator[list[set[Node]]]:
     current_count = len(connected_components(working))
     while working.num_edges > 0:
         betweenness = edge_betweenness(working)
-        # Deterministic tie-break: highest betweenness, then lexicographic edge.
-        target = max(betweenness.items(), key=lambda kv: (kv[1], repr(kv[0])))[0]
+        # Deterministic tie-break: highest betweenness, then lexicographic
+        # edge.  Values are quantized first so that mathematically tied edges
+        # (whose floating-point accumulations may differ in the last ulp
+        # depending on summation order) resolve identically across the dict
+        # and CSR backends.
+        target = max(
+            betweenness.items(), key=lambda kv: (round(kv[1], 9), repr(kv[0]))
+        )[0]
         working.remove_edge(*target)
         components = connected_components(working)
         if len(components) > current_count:

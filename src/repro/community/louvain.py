@@ -79,7 +79,10 @@ def _one_level(
             best_gain = links.get(current, 0.0) - (
                 community_degree[current] * degree[node] / (2.0 * total_weight)
             )
-            for candidate, link_weight in links.items():
+            # Candidates are scanned in ascending community id so the winner
+            # does not depend on dict insertion order; the CSR backend scans
+            # the same ascending order over its bincount-ed gains.
+            for candidate, link_weight in sorted(links.items()):
                 gain = link_weight - (
                     community_degree.get(candidate, 0.0)
                     * degree[node]

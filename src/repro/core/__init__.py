@@ -20,11 +20,13 @@ from repro.core.community_classifier import (
 )
 from repro.core.config import CommCNNConfig, GBDTConfig, LoCECConfig
 from repro.core.division import (
+    BACKENDS,
     DivisionResult,
     LocalCommunity,
     divide,
     divide_ego,
     get_detector,
+    resolve_backend,
 )
 from repro.core.labels import (
     EdgeLabelIndex,
@@ -51,6 +53,8 @@ __all__ = [
     "divide",
     "divide_ego",
     "get_detector",
+    "resolve_backend",
+    "BACKENDS",
     "DivisionResult",
     "LocalCommunity",
     "tightness",

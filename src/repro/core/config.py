@@ -62,6 +62,10 @@ class LoCECConfig:
     community_detector:
         Phase I algorithm: ``"girvan_newman"`` (paper default),
         ``"label_propagation"`` or ``"louvain"`` (ablations).
+    backend:
+        Phase I graph backend: ``"auto"`` (default; NumPy CSR kernels when
+        NumPy is available), ``"csr"``, or ``"dict"`` (pure-Python
+        reference).  Both produce identical communities and tightness.
     min_community_size:
         Communities smaller than this are still classified (the paper keeps
         singletons with tightness 1); the knob exists for ablations only.
@@ -74,6 +78,7 @@ class LoCECConfig:
     k: int = 20
     community_model: str = "cnn"
     community_detector: str = "girvan_newman"
+    backend: str = "auto"
     min_community_size: int = 1
     edge_lr_iterations: int = 400
     edge_lr_learning_rate: float = 0.5
@@ -97,6 +102,10 @@ class LoCECConfig:
             raise ModelConfigError(
                 "community_detector must be one of 'girvan_newman', "
                 f"'label_propagation', 'louvain', got {self.community_detector!r}"
+            )
+        if self.backend not in {"auto", "dict", "csr"}:
+            raise ModelConfigError(
+                f"backend must be 'auto', 'dict' or 'csr', got {self.backend!r}"
             )
         if self.min_community_size < 1:
             raise ModelConfigError("min_community_size must be >= 1")

@@ -24,6 +24,31 @@ from repro.graph.ego import ego_network
 from repro.graph.graph import Graph
 from repro.types import Node
 
+BACKENDS = ("auto", "dict", "csr")
+"""Valid Phase I graph backends: pure-Python dict-of-sets, NumPy CSR kernels,
+or ``auto`` (CSR when NumPy is importable, dict otherwise)."""
+
+
+def resolve_backend(backend: str) -> str:
+    """Resolve a backend name to the concrete implementation to run.
+
+    ``auto`` picks the CSR kernel layer when NumPy is available and falls
+    back to the dict-of-sets reference implementation otherwise, so callers
+    (``core.division``, ``runtime.executor``, the experiments) never need to
+    care which one is installed.
+    """
+    if backend not in BACKENDS:
+        raise PipelineError(
+            f"unknown graph backend {backend!r}; available: {sorted(BACKENDS)}"
+        )
+    if backend != "auto":
+        return backend
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - NumPy is a hard dep in practice
+        return "dict"
+    return "csr"
+
 
 @dataclass(frozen=True)
 class LocalCommunity:
@@ -139,13 +164,23 @@ def get_detector(name: str) -> DetectorFn:
 
 
 def divide_ego(
-    graph: Graph, ego: Node, detector: DetectorFn | str = "girvan_newman"
+    graph: Graph,
+    ego: Node,
+    detector: DetectorFn | str = "girvan_newman",
+    backend: str = "dict",
 ) -> list[LocalCommunity]:
     """Run Phase I for a single ego node.
 
     Returns the ego's local communities with per-member tightness values.
-    An ego with no friends yields an empty list.
+    An ego with no friends yields an empty list.  ``backend="csr"`` routes
+    through the vectorized kernels; for repeated calls prefer :func:`divide`,
+    which builds the CSR snapshot once for all egos.
     """
+    if resolve_backend(backend) == "csr":
+        from repro.graph.csr import CSRGraph
+
+        csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_graph(graph)
+        return _divide_ego_csr(csr, ego, detector)
     if isinstance(detector, str):
         detector = get_detector(detector)
     ego_net = ego_network(graph, ego)
@@ -168,16 +203,137 @@ def divide_ego(
     return communities
 
 
+def _divide_ego_csr(csr, ego: Node, detector: DetectorFn | str) -> list[LocalCommunity]:
+    """Phase I for one ego on the CSR backend.
+
+    Girvan-Newman (the paper's detector) runs entirely on the flat local
+    arrays; other detectors and custom callables fall back to the
+    dict-backend code path on an identically-constructed ego network, so
+    every configuration produces results identical to ``backend="dict"``.
+    """
+    from repro.graph.csr import dense_ego_net, girvan_newman_dense
+
+    if detector == "girvan_newman":
+        net = dense_ego_net(csr, ego)
+        if net.num_nodes == 0:
+            return []
+        blocks, _, _ = girvan_newman_dense(net)
+        neighbors: list[list[int]] = [[] for _ in range(net.num_nodes)]
+        for u, v in zip(net.eu.tolist(), net.ev.tolist()):
+            neighbors[u].append(v)
+            neighbors[v].append(u)
+        communities = []
+        for index, block in enumerate(blocks):
+            if not block:
+                continue
+            communities.append(
+                LocalCommunity(
+                    ego=ego,
+                    members=frozenset(net.labels[i] for i in block),
+                    tightness=_block_tightness(net.labels, neighbors, block),
+                    index=index,
+                )
+            )
+        return communities
+
+    # Non-GN detectors: extract the ego network exactly as the dict backend
+    # does (preserving its node iteration order, which order-sensitive
+    # detectors like Louvain observe), then detect.
+    return _divide_ego_csr_fallback(csr, ego, detector)
+
+
+def _block_tightness(
+    labels: list[Node], neighbors: list[list[int]], block: list[int]
+) -> dict[Node, float]:
+    """Equation 3 for one local community, on int-indexed adjacency lists.
+
+    Same integer counts and float operations as
+    :func:`repro.core.tightness.tightness`, so the values match the dict
+    backend bit-for-bit.
+    """
+    size = len(block)
+    if size == 1:
+        return {labels[block[0]]: 1.0}
+    member_set = set(block)
+    values: dict[Node, float] = {}
+    for member in block:
+        friends_in_ego = len(neighbors[member])
+        if friends_in_ego == 0:
+            values[labels[member]] = 0.0
+            continue
+        friends_in_community = 0
+        for other in neighbors[member]:
+            if other in member_set:
+                friends_in_community += 1
+        values[labels[member]] = (friends_in_community / friends_in_ego) * (
+            friends_in_community / (size - 1)
+        )
+    return values
+
+
+def _divide_ego_csr_fallback(csr, ego: Node, detector: DetectorFn | str):
+    """Dict-backend detection path used by the CSR backend for non-GN detectors.
+
+    Louvain note: :func:`repro.graph.csr.louvain_communities_csr` produces
+    identical partitions, but its per-node ``unique``/``bincount`` only beats
+    the dict loop at degrees well above WeChat-like ego networks — so this
+    path intentionally runs the dict implementation and stays fast *and*
+    identical either way.
+    """
+    source = csr._source if csr._source is not None else csr.to_graph()
+    ego_net = ego_network(source, ego)
+    if ego_net.num_nodes == 0:
+        return []
+    detector_fn = get_detector(detector) if isinstance(detector, str) else detector
+    blocks = detector_fn(ego_net)
+    communities: list[LocalCommunity] = []
+    for index, block in enumerate(blocks):
+        members = frozenset(block)
+        if not members:
+            continue
+        communities.append(
+            LocalCommunity(
+                ego=ego,
+                members=members,
+                tightness=community_tightness(ego_net, members),
+                index=index,
+            )
+        )
+    return communities
+
+
 def divide(
     graph: Graph,
     egos: Iterable[Node] | None = None,
     detector: DetectorFn | str = "girvan_newman",
+    backend: str = "auto",
 ) -> DivisionResult:
     """Run Phase I for every ego in ``egos`` (default: every node of the graph).
 
     The per-ego work is embarrassingly parallel; :mod:`repro.runtime` shards
     this same function across workers for the scalability experiments.
+
+    Parameters
+    ----------
+    backend:
+        ``"dict"`` for the pure-Python reference, ``"csr"`` for the NumPy
+        kernel layer (:mod:`repro.graph.csr`), ``"auto"`` (default) to pick
+        CSR when NumPy is available.  Both backends produce identical
+        communities and tightness values.
     """
+    resolved = resolve_backend(backend)
+    if resolved == "csr":
+        from repro.graph.csr import CSRGraph
+
+        csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_graph(graph)
+        if egos is None:
+            egos = list(csr.nodes())
+        result = DivisionResult()
+        for ego in egos:
+            result.communities_by_ego[ego] = _divide_ego_csr(csr, ego, detector)
+        return result
+    if not isinstance(graph, Graph):  # CSRGraph handed to the dict backend
+        graph = graph._source if graph._source is not None else graph.to_graph()
     if isinstance(detector, str):
         detector = get_detector(detector)
     if egos is None:

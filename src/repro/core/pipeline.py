@@ -144,7 +144,12 @@ class LoCEC:
         # Phase I: division.
         start = time.perf_counter()
         if division is None:
-            division = divide(graph, egos=egos, detector=self.config.community_detector)
+            division = divide(
+                graph,
+                egos=egos,
+                detector=self.config.community_detector,
+                backend=self.config.backend,
+            )
         self.division_ = division
         summary.timings.division = time.perf_counter() - start
         summary.num_egos = division.num_egos

@@ -1,5 +1,44 @@
-"""Graph substrate: undirected graphs, ego networks, feature and interaction stores."""
+"""Graph substrate: undirected graphs, ego networks, feature and interaction stores.
 
+Two interchangeable graph backends live here:
+
+* :class:`Graph` — the pure-Python ``dict[node, set[node]]`` reference.  It
+  is the mutable, readable implementation every algorithm is specified
+  against, and the fallback when NumPy is unavailable.
+* :class:`CSRGraph` (:mod:`repro.graph.csr`) — an immutable NumPy CSR
+  snapshot with vectorized kernels for the Phase I hot paths (ego-network
+  extraction, edge betweenness, Girvan-Newman, tightness, Louvain gains).
+
+Which to use: build the graph with :class:`Graph`, then let
+``repro.core.division.divide(..., backend="auto")`` (the default) route hot
+loops through CSR — both backends produce identical communities and
+tightness values, so the knob is purely about speed.  Pick
+``backend="dict"`` only when debugging kernel parity or running without
+NumPy.  Measured kernel speeds live in ``BENCH_kernels.json`` at the repo
+root (written by ``scripts/perf_report.py``): each entry records
+``seconds_per_op``/``ops_per_sec`` per kernel and scale, and the
+``phase1_division_small`` pair is the headline dict-vs-CSR comparison —
+regenerate it with ``python scripts/perf_report.py --update`` after touching
+any kernel, and CI fails if a kernel regresses >30% against the committed
+baseline.
+"""
+
+try:  # CSR layer requires NumPy; the dict backend must work without it.
+    from repro.graph.csr import (
+        CSRGraph,
+        community_tightness_csr,
+        edge_betweenness_csr,
+        ego_network_csr,
+        girvan_newman_csr,
+        louvain_communities_csr,
+    )
+except ImportError:  # pragma: no cover - exercised only on NumPy-less hosts
+    CSRGraph = None  # type: ignore[assignment,misc]
+    community_tightness_csr = None  # type: ignore[assignment]
+    edge_betweenness_csr = None  # type: ignore[assignment]
+    ego_network_csr = None  # type: ignore[assignment]
+    girvan_newman_csr = None  # type: ignore[assignment]
+    louvain_communities_csr = None  # type: ignore[assignment]
 from repro.graph.ego import ego_network, ego_network_size, ego_networks
 from repro.graph.features import NodeFeatureStore
 from repro.graph.graph import Graph
@@ -14,12 +53,18 @@ from repro.graph.io import (
 )
 
 __all__ = [
+    "CSRGraph",
     "Graph",
     "InteractionStore",
     "NodeFeatureStore",
+    "community_tightness_csr",
+    "edge_betweenness_csr",
     "ego_network",
+    "ego_network_csr",
     "ego_networks",
     "ego_network_size",
+    "girvan_newman_csr",
+    "louvain_communities_csr",
     "read_edge_list",
     "write_edge_list",
     "read_labeled_edges",

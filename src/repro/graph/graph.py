@@ -104,14 +104,18 @@ class Graph:
         return neighbors is not None and v in neighbors
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate over edges, each reported once in canonical order."""
-        seen: set[Edge] = set()
+        """Iterate over edges, each reported once in canonical order.
+
+        An edge is emitted the first time either endpoint is visited, which
+        needs only an O(V) visited-node set rather than an O(E) seen-edge
+        set; the emission order is unchanged (first-encounter order).
+        """
+        visited: set[Node] = set()
         for u, neighbors in self._adj.items():
             for v in neighbors:
-                edge = canonical_edge(u, v)
-                if edge not in seen:
-                    seen.add(edge)
-                    yield edge
+                if v not in visited:
+                    yield canonical_edge(u, v)
+            visited.add(u)
 
     @property
     def num_edges(self) -> int:

@@ -13,10 +13,41 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.core.division import DivisionResult, divide
+from repro.core.division import DivisionResult, divide, resolve_backend
 from repro.graph.graph import Graph
 from repro.runtime.sharding import Shard, shard_nodes
 from repro.types import Node
+
+_WORKER_GRAPH = None
+
+
+def _prepare_graph(graph: Graph, backend: str):
+    """Resolve the backend once per process: CSR snapshots are per-graph,
+    not per-shard, so the O(V+E) conversion must not repeat for every task."""
+    if resolve_backend(backend) == "csr":
+        from repro.graph.csr import CSRGraph
+
+        if not isinstance(graph, CSRGraph):
+            return CSRGraph.from_graph(graph)
+    return graph
+
+
+def _init_worker(graph: Graph, backend: str) -> None:
+    """Process-pool initializer: receive the graph once per worker process.
+
+    The graph is pickled exactly once per worker instead of once per shard
+    task, which matters because the graph is by far the largest object in a
+    task and shards typically outnumber workers severalfold.
+    """
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = _prepare_graph(graph, backend)
+
+
+def _process_shard_in_worker(
+    shard: Shard, detector: str, backend: str
+) -> tuple[int, DivisionResult, float]:
+    assert _WORKER_GRAPH is not None, "worker initializer did not run"
+    return _process_shard(_WORKER_GRAPH, shard, detector, backend)
 
 
 @dataclass
@@ -53,10 +84,10 @@ class ExecutionReport:
 
 
 def _process_shard(
-    graph: Graph, shard: Shard, detector: str
+    graph: Graph, shard: Shard, detector: str, backend: str = "auto"
 ) -> tuple[int, DivisionResult, float]:
     start = time.perf_counter()
-    division = divide(graph, egos=shard.egos, detector=detector)
+    division = divide(graph, egos=shard.egos, detector=detector, backend=backend)
     return shard.shard_id, division, time.perf_counter() - start
 
 
@@ -73,6 +104,9 @@ class ShardedDivisionExecutor:
         Community detector to run inside each ego network.
     strategy:
         Sharding strategy (see :func:`repro.runtime.sharding.shard_nodes`).
+    backend:
+        Graph backend for Phase I (``"auto"``/``"dict"``/``"csr"``, see
+        :func:`repro.core.division.divide`).
     """
 
     def __init__(
@@ -81,11 +115,13 @@ class ShardedDivisionExecutor:
         num_workers: int = 1,
         detector: str = "girvan_newman",
         strategy: str = "round_robin",
+        backend: str = "auto",
     ) -> None:
         self.num_shards = num_shards
         self.num_workers = num_workers
         self.detector = detector
         self.strategy = strategy
+        self.backend = backend
 
     def run(self, graph: Graph, egos: list[Node] | None = None) -> ExecutionReport:
         """Execute Phase I over all (or the given) egos and merge shard results."""
@@ -94,11 +130,23 @@ class ShardedDivisionExecutor:
         report = ExecutionReport(division=DivisionResult())
 
         if self.num_workers <= 1:
-            results = [_process_shard(graph, shard, self.detector) for shard in shards]
+            prepared = _prepare_graph(graph, self.backend)
+            results = [
+                _process_shard(prepared, shard, self.detector, self.backend)
+                for shard in shards
+            ]
         else:
-            with ProcessPoolExecutor(max_workers=self.num_workers) as pool:
+            # The graph travels to each worker once via the pool initializer;
+            # shard tasks then carry only the (small) shard and settings.
+            with ProcessPoolExecutor(
+                max_workers=self.num_workers,
+                initializer=_init_worker,
+                initargs=(graph, self.backend),
+            ) as pool:
                 futures = [
-                    pool.submit(_process_shard, graph, shard, self.detector)
+                    pool.submit(
+                        _process_shard_in_worker, shard, self.detector, self.backend
+                    )
                     for shard in shards
                 ]
                 results = [future.result() for future in futures]

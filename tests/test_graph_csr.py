@@ -1,0 +1,302 @@
+"""Parity tests: the CSR kernel layer must match the dict backend exactly.
+
+Every kernel in :mod:`repro.graph.csr` is a drop-in replacement for a
+dict-backend routine, and ``divide(backend="csr")`` must reproduce
+``divide(backend="dict")`` bit-for-bit (members, ordering/index, tightness).
+The tests sweep randomized graphs across seeds and densities, including
+isolated nodes and singleton communities, plus the paper's example networks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.community.betweenness import edge_betweenness
+from repro.community.girvan_newman import girvan_newman
+from repro.community.louvain import louvain_communities
+from repro.core.division import divide, divide_ego, resolve_backend
+from repro.core.tightness import community_tightness
+from repro.exceptions import NodeNotFoundError, PipelineError
+from repro.graph import Graph
+from repro.graph.csr import (
+    CSRGraph,
+    community_tightness_csr,
+    edge_betweenness_csr,
+    ego_network_csr,
+    girvan_newman_csr,
+    louvain_communities_csr,
+)
+from repro.graph.ego import ego_network
+from repro.graph.generators import paper_figure7_network
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def random_graph(seed: int, n: int = 24, p: float = 0.18) -> Graph:
+    """G(n, p) plus a few isolated nodes, deterministic per seed."""
+    rng = random.Random(seed)
+    graph = Graph(nodes=range(n + 3))  # n..n+2 stay isolated unless wired below
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def assert_division_identical(left, right) -> None:
+    assert list(left.communities_by_ego) == list(right.communities_by_ego)
+    for ego in left.communities_by_ego:
+        a = left.communities_by_ego[ego]
+        b = right.communities_by_ego[ego]
+        assert [c.members for c in a] == [c.members for c in b]
+        assert [c.index for c in a] == [c.index for c in b]
+        for ca, cb in zip(a, b):
+            assert set(ca.tightness) == set(cb.tightness)
+            for node in ca.tightness:
+                assert ca.tightness[node] == cb.tightness[node]
+
+
+class TestCSRGraphReadAPI:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matches_graph(self, seed):
+        graph = random_graph(seed)
+        csr = CSRGraph.from_graph(graph)
+        assert csr.num_nodes == graph.num_nodes
+        assert csr.num_edges == graph.num_edges
+        assert list(csr.nodes()) == list(graph.nodes())
+        assert set(csr.edges()) == set(graph.edges())
+        assert csr.degrees() == graph.degrees()
+        for node in graph.nodes():
+            assert csr.neighbors(node) == graph.neighbors(node)
+            assert csr.degree(node) == graph.degree(node)
+            assert csr.has_node(node) and node in csr
+        for u, v in graph.edges():
+            assert csr.has_edge(u, v) and csr.has_edge(v, u)
+        assert not csr.has_edge(0, "missing")
+
+    def test_from_edges_and_to_graph_roundtrip(self):
+        edges = [(1, 2), (2, 3), (3, 1), (4, 5)]
+        csr = CSRGraph.from_edges(edges, nodes=[9])
+        graph = Graph(edges=edges, nodes=[9])
+        assert csr.to_graph() == graph
+        assert csr == CSRGraph.from_graph(graph)
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_subgraph_matches(self, seed):
+        graph = random_graph(seed)
+        csr = CSRGraph.from_graph(graph)
+        rng = random.Random(seed + 100)
+        keep = [node for node in graph.nodes() if rng.random() < 0.5] + [999]
+        assert csr.subgraph(keep).to_graph() == graph.subgraph(keep)
+
+    def test_missing_node_raises(self):
+        csr = CSRGraph.from_edges([(1, 2)])
+        with pytest.raises(NodeNotFoundError):
+            csr.neighbors(42)
+        with pytest.raises(NodeNotFoundError):
+            csr.index_of(42)
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_graph(Graph())
+        assert csr.num_nodes == 0 and csr.num_edges == 0
+        assert list(csr.edges()) == []
+
+
+class TestEgoNetworkParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_ego_matches(self, seed):
+        graph = random_graph(seed)
+        csr = CSRGraph.from_graph(graph)
+        for ego in graph.nodes():
+            assert ego_network_csr(csr, ego) == ego_network(graph, ego)
+
+    def test_fig7_matches(self):
+        graph = paper_figure7_network()
+        for ego in graph.nodes():
+            assert ego_network_csr(graph, ego) == ego_network(graph, ego)
+
+
+class TestBetweennessParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_graphs(self, seed):
+        graph = random_graph(seed)
+        reference = edge_betweenness(graph)
+        vectorized = edge_betweenness_csr(graph)
+        assert set(reference) == set(vectorized)
+        for edge, value in reference.items():
+            assert vectorized[edge] == pytest.approx(value, abs=1e-9)
+
+    def test_disconnected_and_edgeless(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (4, 5)], nodes=[6])
+        reference = edge_betweenness(graph)
+        vectorized = edge_betweenness_csr(graph)
+        for edge, value in reference.items():
+            assert vectorized[edge] == pytest.approx(value, abs=1e-12)
+        assert edge_betweenness_csr(Graph(nodes=[1, 2])) == {}
+
+
+class TestGirvanNewmanParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_graphs(self, seed):
+        graph = random_graph(seed, n=16, p=0.22)
+        reference = girvan_newman(graph)
+        vectorized = girvan_newman_csr(graph)
+        assert vectorized.communities == reference.communities
+        assert vectorized.modularity == pytest.approx(reference.modularity)
+        assert vectorized.levels_explored == reference.levels_explored
+
+    def test_max_communities_cap(self):
+        # Two 4-cliques plus a bridge (connected, so the dendrogram search
+        # can actually hit the cap).
+        graph = Graph()
+        for block in ([0, 1, 2, 3], [4, 5, 6, 7]):
+            for i, u in enumerate(block):
+                for v in block[i + 1 :]:
+                    graph.add_edge(u, v)
+        graph.add_edge(3, 4)
+        reference = girvan_newman(graph, max_communities=2)
+        vectorized = girvan_newman_csr(graph, max_communities=2)
+        assert vectorized.communities == reference.communities
+
+    def test_edgeless_singletons(self):
+        graph = Graph(nodes=[3, 1, 2])
+        assert (
+            girvan_newman_csr(graph).communities == girvan_newman(graph).communities
+        )
+
+
+class TestTightnessParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_communities(self, seed):
+        graph = random_graph(seed)
+        rng = random.Random(seed + 7)
+        for ego in list(graph.nodes())[:10]:
+            net = ego_network(graph, ego)
+            members = list(net.nodes())
+            if not members:
+                continue
+            community = [m for m in members if rng.random() < 0.6] or members[:1]
+            reference = community_tightness(net, community)
+            batched = community_tightness_csr(net, community)
+            assert set(reference) == set(batched)
+            for node in reference:
+                assert batched[node] == reference[node]
+
+    def test_singleton_and_isolated(self):
+        net = Graph(nodes=[1, 2, 3])
+        net.add_edge(2, 3)
+        assert community_tightness_csr(net, [1]) == {1: 1.0}
+        # Node 1 is isolated inside a multi-node community: tightness 0.
+        values = community_tightness_csr(net, [1, 2, 3])
+        assert values[1] == 0.0
+        assert values == community_tightness(net, {1, 2, 3})
+
+
+class TestLouvainParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_graphs(self, seed):
+        graph = random_graph(seed, n=30, p=0.12)
+        assert louvain_communities_csr(graph) == louvain_communities(graph)
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_denser_graphs(self, seed):
+        graph = random_graph(seed + 50, n=20, p=0.3)
+        assert louvain_communities_csr(graph) == louvain_communities(graph)
+
+    def test_trivial_graphs(self):
+        assert louvain_communities_csr(Graph()) == louvain_communities(Graph())
+        edgeless = Graph(nodes=[5, 1])
+        assert louvain_communities_csr(edgeless) == louvain_communities(edgeless)
+
+
+class TestDivideParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_girvan_newman_backend_parity(self, seed):
+        graph = random_graph(seed)
+        assert_division_identical(
+            divide(graph, backend="dict"), divide(graph, backend="csr")
+        )
+
+    @pytest.mark.parametrize("detector", ["louvain", "label_propagation"])
+    def test_alternative_detectors(self, detector):
+        graph = random_graph(1, n=18, p=0.2)
+        assert_division_identical(
+            divide(graph, detector=detector, backend="dict"),
+            divide(graph, detector=detector, backend="csr"),
+        )
+
+    def test_fig7(self, fig7_graph):
+        assert_division_identical(
+            divide(fig7_graph, backend="dict"), divide(fig7_graph, backend="csr")
+        )
+
+    def test_isolated_and_singleton_egos(self):
+        graph = Graph(edges=[(1, 2)], nodes=[3])
+        assert_division_identical(
+            divide(graph, backend="dict"), divide(graph, backend="csr")
+        )
+        # Ego 3 has no friends, egos 1/2 have singleton communities.
+        result = divide(graph, backend="csr")
+        assert result.communities_of(3) == []
+        assert result.communities_of(1)[0].tightness == {2: 1.0}
+
+    def test_divide_ego_backend(self, fig7_graph):
+        for ego in fig7_graph.nodes():
+            left = divide_ego(fig7_graph, ego, backend="dict")
+            right = divide_ego(fig7_graph, ego, backend="csr")
+            assert [c.members for c in left] == [c.members for c in right]
+
+    def test_divide_accepts_csr_graph(self, fig7_graph):
+        csr = CSRGraph.from_graph(fig7_graph)
+        assert_division_identical(
+            divide(fig7_graph, backend="dict"), divide(csr, backend="csr")
+        )
+        assert_division_identical(
+            divide(fig7_graph, backend="dict"), divide(csr, backend="dict")
+        )
+
+    def test_unknown_backend_raises(self, fig7_graph):
+        with pytest.raises(PipelineError):
+            divide(fig7_graph, backend="sparse")
+
+    def test_resolve_backend(self):
+        assert resolve_backend("dict") == "dict"
+        assert resolve_backend("csr") == "csr"
+        assert resolve_backend("auto") in {"dict", "csr"}
+        with pytest.raises(PipelineError):
+            resolve_backend("gpu")
+
+
+class TestDenseEgoNet:
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_dense_extraction_and_tightness(self, seed):
+        from repro.graph.csr import dense_ego_net, tightness_from_dense
+
+        graph = random_graph(seed)
+        csr = CSRGraph.from_graph(graph)
+        for ego in list(graph.nodes())[:8]:
+            net = dense_ego_net(csr, ego)
+            reference = ego_network(graph, ego)
+            assert set(net.labels) == set(reference.nodes())
+            assert net.num_edges == reference.num_edges
+            members = list(range(net.num_nodes))
+            if not members:
+                continue
+            values = tightness_from_dense(net, members)
+            expected = community_tightness(reference, list(reference.nodes()))
+            assert set(values) == set(expected)
+            for node in expected:
+                assert values[node] == pytest.approx(expected[node], abs=1e-12)
+
+
+class TestStringLabels:
+    def test_repr_tie_breaking_matches(self):
+        # String labels exercise the repr-based canonical edge ordering.
+        edges = [("b", "a"), ("a", "c"), ("c", "b"), ("c", "d"), ("d", "e")]
+        graph = Graph(edges=edges, nodes=["zz"])
+        assert_division_identical(
+            divide(graph, backend="dict"), divide(graph, backend="csr")
+        )
+        assert girvan_newman_csr(graph).communities == girvan_newman(graph).communities

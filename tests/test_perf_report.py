@@ -1,0 +1,96 @@
+"""Smoke tests for the kernel perf-report harness (tier-1, fast).
+
+Runs ``scripts/perf_report.py`` in ``--quick`` mode (tiny scale, one repeat)
+to guarantee the benchmark suite executes end to end, the JSON schema stays
+stable, and the >30% regression gate actually trips.  The full report that
+refreshes ``BENCH_kernels.json`` is the slow path
+(``python scripts/perf_report.py --update``); tier-1 only needs this smoke.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def perf_report():
+    spec = importlib.util.spec_from_file_location(
+        "perf_report", REPO_ROOT / "scripts" / "perf_report.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("perf_report", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def quick_report(perf_report, tmp_path_factory):
+    """One quick run shared by the schema/gate tests below."""
+    output = tmp_path_factory.mktemp("bench") / "BENCH_kernels.json"
+    code = perf_report.main(["--quick", "--update", "--output", str(output)])
+    assert code == 0
+    return output, json.loads(output.read_text())
+
+
+def test_quick_report_schema(quick_report):
+    _, report = quick_report
+    assert report["schema"] == 1
+    benchmarks = report["benchmarks"]
+    for expected in (
+        "ego_extraction_dict",
+        "ego_extraction_csr",
+        "edge_betweenness_dict",
+        "edge_betweenness_csr",
+        "community_tightness_csr",
+        "louvain_csr",
+        "phase1_division_tiny_dict",
+        "phase1_division_tiny_csr",
+    ):
+        assert expected in benchmarks
+        assert benchmarks[expected]["ops_per_sec"] > 0
+        assert benchmarks[expected]["seconds_per_op"] > 0
+    assert "speedup_phase1_division_tiny" in report["derived"]
+
+
+def test_check_passes_against_itself(perf_report, quick_report):
+    # Gate logic must pass when the run equals the baseline exactly.  (A
+    # live re-measure would be machine-noise flaky with quick's 1 repeat,
+    # so the gate is exercised on the recorded report.)
+    output, report = quick_report
+    assert perf_report.check_regressions(report, output) == []
+
+
+def test_check_skips_mismatched_modes(perf_report, quick_report):
+    output, report = quick_report
+    full = dict(report, quick=False)
+    assert perf_report.check_regressions(full, output) == []
+
+
+def test_regression_gate_trips(perf_report, quick_report):
+    output, report = quick_report
+    doctored = json.loads(json.dumps(report))
+    for result in doctored["benchmarks"].values():
+        result["ops_per_sec"] *= 1e6  # fake an impossibly fast baseline
+        result["seconds_per_op"] /= 1e6
+    rigged = output.parent / "rigged.json"
+    rigged.write_text(json.dumps(doctored))
+    code = perf_report.main(["--quick", "--check", "--output", str(rigged)])
+    assert code == 1
+
+
+def test_committed_baseline_is_valid_json():
+    baseline = REPO_ROOT / "BENCH_kernels.json"
+    assert baseline.exists(), "BENCH_kernels.json must be committed at the repo root"
+    report = json.loads(baseline.read_text())
+    assert report["schema"] == 1
+    assert "phase1_division_small_csr" in report["benchmarks"]
+    # The tentpole acceptance: CSR Phase I division is >= 5x the dict backend
+    # at the small scale on the machine that produced the baseline.
+    assert report["derived"]["speedup_phase1_division_small"] >= 5.0
