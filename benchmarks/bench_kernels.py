@@ -9,8 +9,11 @@ speed contest.
 
 from __future__ import annotations
 
+import numpy as np
+
 from benchmarks.conftest import run_once
 from repro.community.betweenness import edge_betweenness
+from repro.core.aggregation import FeatureMatrixBuilder
 from repro.core.division import divide
 from repro.graph.csr import CSRGraph, edge_betweenness_csr, ego_network_csr
 from repro.graph.ego import ego_network
@@ -51,3 +54,43 @@ def test_phase1_division_csr(benchmark, bench_workload):
     result = run_once(benchmark, lambda: divide(graph, backend="csr"))
     reference = bench_workload.division()
     assert result.num_communities == reference.num_communities
+
+
+def _phase2_builders(bench_workload):
+    dataset = bench_workload.dataset
+    dict_builder = FeatureMatrixBuilder(
+        dataset.features, dataset.interactions, k=20, backend="dict"
+    )
+    csr_builder = FeatureMatrixBuilder(
+        dataset.features, dataset.interactions, k=20, backend="csr"
+    )
+    communities = list(bench_workload.division().all_communities())
+    return dict_builder, csr_builder, communities
+
+
+def test_phase2_feature_matrices_dict(benchmark, bench_workload):
+    dict_builder, _, communities = _phase2_builders(bench_workload)
+    matrices = run_once(benchmark, lambda: dict_builder.feature_matrices(communities))
+    assert len(matrices) == len(communities)
+
+
+def test_phase2_feature_matrices_csr(benchmark, bench_workload):
+    dict_builder, csr_builder, communities = _phase2_builders(bench_workload)
+    csr_builder.feature_matrices(communities[:1])  # compile outside timing
+    matrices = run_once(benchmark, lambda: csr_builder.feature_matrices(communities))
+    reference = dict_builder.feature_matrix(communities[0])
+    assert matrices[0].member_order == reference.member_order
+    assert np.array_equal(matrices[0].matrix, reference.matrix)
+
+
+def test_phase2_statistic_vectors_dict(benchmark, bench_workload):
+    dict_builder, _, communities = _phase2_builders(bench_workload)
+    design = run_once(benchmark, lambda: dict_builder.statistic_vectors(communities))
+    assert design.shape[0] == len(communities)
+
+
+def test_phase2_statistic_vectors_csr(benchmark, bench_workload):
+    dict_builder, csr_builder, communities = _phase2_builders(bench_workload)
+    csr_builder.statistic_vectors(communities[:1])  # compile outside timing
+    design = run_once(benchmark, lambda: csr_builder.statistic_vectors(communities))
+    assert np.array_equal(design[0], dict_builder.statistic_vector(communities[0]))

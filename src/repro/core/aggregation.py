@@ -9,6 +9,20 @@ The key property the paper relies on is densification: even when a single
 edge ``⟨ego, u⟩`` has no interaction at all, ``u`` usually interacts with
 *somebody* in its circle, so the aggregated community features are far less
 sparse than raw edge features.
+
+Two aggregation backends mirror the Phase I graph backends:
+
+* ``dict`` — the readable reference: per-pair store lookups, one community
+  at a time.
+* ``csr`` — the :mod:`repro.graph.phase2` kernel layer: the stores are
+  compiled once into an :class:`~repro.graph.phase2.InteractionMatrix` /
+  :class:`~repro.graph.phase2.NodeFeatureMatrix` pair and each community's
+  pair totals are computed once (``O(|C|^2)`` instead of ``O(k * |C|^2)``)
+  with batched NumPy gathers.
+
+Both produce bit-identical matrices whenever interaction counts are
+integer-valued (which every generated workload guarantees); the parity suite
+in ``tests/test_phase2_csr.py`` arbitrates.
 """
 
 from __future__ import annotations
@@ -17,8 +31,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.division import LocalCommunity
-from repro.exceptions import PipelineError
+from repro.core.division import LocalCommunity, resolve_backend
+from repro.exceptions import FeatureError, PipelineError
 from repro.graph.features import NodeFeatureStore
 from repro.graph.interactions import InteractionStore
 from repro.types import Node
@@ -36,20 +50,19 @@ def interact(
 
     The denominator sums over all unordered member pairs.  When the community
     has no interaction at all on dimension ``j`` the share is defined as 0.
+
+    Delegates to the Equation-2 kernel (:func:`interaction_feature_vector`)
+    so the scalar and vector paths share one zero-handling and summation
+    implementation and cannot drift apart.  Equation 1 is defined for
+    ``node ∈ C``; like the vector path, a node outside the community gets
+    share 0 (only member-member pairs enter the numerator).
     """
-    members = list(community)
-    numerator = sum(
-        interactions.get(node, other, dim) for other in members if other != node
-    )
-    if numerator == 0.0:
-        return 0.0
-    denominator = 0.0
-    for index, left in enumerate(members):
-        for right in members[index + 1 :]:
-            denominator += interactions.get(left, right, dim)
-    if denominator == 0.0:
-        return 0.0
-    return numerator / denominator
+    dim = int(dim)
+    if not 0 <= dim < interactions.num_dims:
+        raise FeatureError(
+            f"interaction dimension {dim} out of range [0, {interactions.num_dims})"
+        )
+    return float(interaction_feature_vector(node, community, interactions)[dim])
 
 
 def interaction_feature_vector(
@@ -61,7 +74,9 @@ def interaction_feature_vector(
 
     A single pass accumulates, for every dimension, the member-pair totals and
     ``node``'s row totals, which avoids the quadratic re-scan per dimension
-    that a naive application of Equation 1 would incur.
+    that a naive application of Equation 1 would incur.  Silent pairs are
+    skipped via the no-copy :meth:`InteractionStore.vector_view` accessor, so
+    the scan allocates nothing per pair.
     """
     members = list(community)
     num_dims = interactions.num_dims
@@ -69,7 +84,9 @@ def interaction_feature_vector(
     pair_totals = np.zeros(num_dims, dtype=np.float64)
     for index, left in enumerate(members):
         for right in members[index + 1 :]:
-            vector = interactions.vector(left, right)
+            vector = interactions.vector_view(left, right)
+            if vector is None:
+                continue
             pair_totals += vector
             if left == node or right == node:
                 node_totals += vector
@@ -116,6 +133,17 @@ class FeatureMatrixBuilder:
     k:
         Number of rows of the feature matrix; communities larger than ``k``
         keep only the ``k`` tightest members, smaller ones are zero-padded.
+    backend:
+        ``"dict"`` for the per-pair reference path, ``"csr"`` for the
+        compiled :class:`~repro.graph.phase2.Phase2Kernel` path, ``"auto"``
+        (default) to pick CSR when NumPy is available.  Both backends emit
+        bit-identical matrices for integer-valued interaction counts.
+
+    Notes
+    -----
+    The CSR backend compiles the stores on first use and recompiles
+    automatically when either store's write counter (``version``) changes,
+    so mutating the stores between calls is as safe as on the dict backend.
     """
 
     def __init__(
@@ -123,48 +151,127 @@ class FeatureMatrixBuilder:
         features: NodeFeatureStore,
         interactions: InteractionStore,
         k: int = 20,
+        backend: str = "auto",
     ) -> None:
         if k < 1:
             raise PipelineError("k must be >= 1")
         self.features = features
         self.interactions = interactions
         self.k = k
+        self.backend = backend
+        self._resolved_backend = resolve_backend(backend)
+        self._kernel = None
+        self._kernel_versions: tuple[int, int] | None = None
 
     @property
     def num_columns(self) -> int:
         """``|I| + |f|``: width of every feature matrix."""
         return self.interactions.num_dims + self.features.num_features
 
+    def _compiled_kernel(self):
+        """The lazily-compiled Phase II kernel (CSR backend only).
+
+        Recompiled whenever either store reports a write since the last
+        compile, so the snapshot can never serve stale matrices.
+        """
+        versions = (self.features.version, self.interactions.version)
+        if self._kernel is None or self._kernel_versions != versions:
+            from repro.graph.phase2 import Phase2Kernel
+
+            self._kernel = Phase2Kernel.compile(self.features, self.interactions)
+            self._kernel_versions = versions
+        return self._kernel
+
+    def invalidate_kernel(self) -> None:
+        """Drop the compiled store snapshot (forces a recompile on next use).
+
+        Staleness from ordinary store writes is detected automatically via
+        the stores' ``version`` counters; this hook exists for callers that
+        mutate store internals out of band.
+        """
+        self._kernel = None
+        self._kernel_versions = None
+
     # ------------------------------------------------------------- Algorithm 1
     def feature_matrix(self, community: LocalCommunity) -> CommunityFeatureMatrix:
         """Algorithm 1: the ``k × (|I|+|f|)`` matrix of a local community."""
+        if self._resolved_backend == "csr":
+            return self._feature_matrices_csr([community])[0]
+        return self._feature_matrix_dict(community)
+
+    def feature_matrices(
+        self, communities: list[LocalCommunity]
+    ) -> list[CommunityFeatureMatrix]:
+        """Algorithm 1 applied to a batch of communities."""
+        if self._resolved_backend == "csr":
+            return self._feature_matrices_csr(communities)
+        return [self._feature_matrix_dict(community) for community in communities]
+
+    def matrices_as_tensor(self, communities: list[LocalCommunity]) -> np.ndarray:
+        """Stack feature matrices into a ``(n, 1, k, |I|+|f|)`` CNN input tensor."""
+        tensor = np.zeros(
+            (len(communities), 1, self.k, self.num_columns), dtype=np.float64
+        )
+        if not communities:
+            return tensor
+        if self._resolved_backend == "csr":
+            # Fill the tensor straight from the batch rows — no intermediate
+            # per-community matrices.
+            ordered_lists, rows, offsets = self._batch_rows_csr(communities)
+            for index, ordered in enumerate(ordered_lists):
+                tensor[index, 0, : len(ordered)] = rows[
+                    offsets[index] : offsets[index + 1]
+                ]
+            return tensor
+        for index, community in enumerate(communities):
+            tensor[index, 0] = self._feature_matrix_dict(community).matrix
+        return tensor
+
+    def _feature_matrix_dict(self, community: LocalCommunity) -> CommunityFeatureMatrix:
+        """Reference (dict-backend) Algorithm 1 path."""
         ordered = community.members_by_tightness()[: self.k]
         matrix = np.zeros((self.k, self.num_columns), dtype=np.float64)
         for row, node in enumerate(ordered):
             interaction_part = interaction_feature_vector(
                 node, community.members, self.interactions
             )
-            individual_part = self.features.get_or_default(node)
             matrix[row, : self.interactions.num_dims] = interaction_part
-            matrix[row, self.interactions.num_dims :] = individual_part
+            matrix[row, self.interactions.num_dims :] = self.features.get_view(node)
         return CommunityFeatureMatrix(
             community=community, matrix=matrix, member_order=tuple(ordered)
         )
 
-    def feature_matrices(
+    def _batch_rows_csr(
+        self, communities: list[LocalCommunity]
+    ) -> tuple[list[list[Node]], np.ndarray, np.ndarray]:
+        """Tightness-ordered (truncated) member lists + their batch rows."""
+        kernel = self._compiled_kernel()
+        ordered_lists = [
+            community.members_by_tightness()[: self.k] for community in communities
+        ]
+        rows, offsets = kernel.community_rows_batch(
+            [
+                (community.members, ordered)
+                for community, ordered in zip(communities, ordered_lists)
+            ]
+        )
+        return ordered_lists, rows, offsets
+
+    def _feature_matrices_csr(
         self, communities: list[LocalCommunity]
     ) -> list[CommunityFeatureMatrix]:
-        """Algorithm 1 applied to a batch of communities."""
-        return [self.feature_matrix(community) for community in communities]
-
-    def matrices_as_tensor(self, communities: list[LocalCommunity]) -> np.ndarray:
-        """Stack feature matrices into a ``(n, 1, k, |I|+|f|)`` CNN input tensor."""
-        if not communities:
-            return np.zeros((0, 1, self.k, self.num_columns), dtype=np.float64)
-        stacked = np.stack(
-            [self.feature_matrix(community).matrix for community in communities]
-        )
-        return stacked[:, None, :, :]
+        """Vectorized Algorithm 1: one batched row computation, then fills."""
+        ordered_lists, rows, offsets = self._batch_rows_csr(communities)
+        results: list[CommunityFeatureMatrix] = []
+        for index, (community, ordered) in enumerate(zip(communities, ordered_lists)):
+            matrix = np.zeros((self.k, self.num_columns), dtype=np.float64)
+            matrix[: len(ordered)] = rows[offsets[index] : offsets[index + 1]]
+            results.append(
+                CommunityFeatureMatrix(
+                    community=community, matrix=matrix, member_order=tuple(ordered)
+                )
+            )
+        return results
 
     # -------------------------------------------------- LoCEC-XGB aggregation
     def statistic_vector(self, community: LocalCommunity) -> np.ndarray:
@@ -178,21 +285,72 @@ class FeatureMatrixBuilder:
         is available to XGBoost "for free" in the paper's setting via the
         number of aggregated rows).
         """
-        members = community.members_by_tightness()
-        rows = np.zeros((len(members), self.num_columns), dtype=np.float64)
-        for row, node in enumerate(members):
-            rows[row, : self.interactions.num_dims] = interaction_feature_vector(
-                node, community.members, self.interactions
-            )
-            rows[row, self.interactions.num_dims :] = self.features.get_or_default(node)
-        mean = rows.mean(axis=0)
-        std = rows.std(axis=0)
-        return np.concatenate([mean, std, [float(len(members))]])
+        return self.statistic_vectors([community])[0]
 
     def statistic_vectors(self, communities: list[LocalCommunity]) -> np.ndarray:
-        """Stack :meth:`statistic_vector` outputs into a 2-D design matrix."""
+        """Stack per-community statistic vectors into a 2-D design matrix."""
+        out = np.zeros((len(communities), 2 * self.num_columns + 1), dtype=np.float64)
         if not communities:
-            return np.zeros((0, 2 * self.num_columns + 1), dtype=np.float64)
-        return np.vstack(
-            [self.statistic_vector(community) for community in communities]
+            return out
+        if self._resolved_backend == "csr":
+            self._fill_statistic_vectors_csr(communities, out)
+        else:
+            for index, community in enumerate(communities):
+                self._fill_statistic_vector_dict(community, out[index])
+        return out
+
+    def _fill_statistic_vector_dict(
+        self, community: LocalCommunity, out: np.ndarray
+    ) -> None:
+        """Reference (dict-backend) statistic aggregation for one community."""
+        members = community.members_by_tightness()
+        num_dims = self.interactions.num_dims
+        rows = np.zeros((len(members), self.num_columns), dtype=np.float64)
+        for row, node in enumerate(members):
+            rows[row, :num_dims] = interaction_feature_vector(
+                node, community.members, self.interactions
+            )
+            rows[row, num_dims:] = self.features.get_view(node)
+        columns = self.num_columns
+        out[:columns] = rows.mean(axis=0)
+        out[columns : 2 * columns] = rows.std(axis=0)
+        out[-1] = float(len(members))
+
+    def _fill_statistic_vectors_csr(
+        self, communities: list[LocalCommunity], out: np.ndarray
+    ) -> None:
+        """Vectorized statistic aggregation: batched rows, segment mean/std.
+
+        The segment reductions replay exactly the arithmetic of
+        ``rows.mean(axis=0)`` / ``rows.std(axis=0)`` on each community's row
+        block — sequential sums in row order, one divide, one sqrt — so the
+        result is bit-identical to the dict path (the parity suite checks
+        this property directly against NumPy's reductions).
+        """
+        kernel = self._compiled_kernel()
+        columns = self.num_columns
+        ordered_lists = [community.members_by_tightness() for community in communities]
+        rows, offsets = kernel.community_rows_batch(
+            [
+                (community.members, ordered)
+                for community, ordered in zip(communities, ordered_lists)
+            ]
         )
+        num_comms = len(communities)
+        counts = np.diff(offsets)
+        comm_of_row = np.repeat(np.arange(num_comms), counts)
+        sums = np.empty((num_comms, columns))
+        for column in range(columns):
+            sums[:, column] = np.bincount(
+                comm_of_row, weights=rows[:, column], minlength=num_comms
+            )
+        mean = sums / counts[:, None]
+        deviations = rows - mean[comm_of_row]
+        deviations *= deviations
+        for column in range(columns):
+            sums[:, column] = np.bincount(
+                comm_of_row, weights=deviations[:, column], minlength=num_comms
+            )
+        out[:, :columns] = mean
+        out[:, columns : 2 * columns] = np.sqrt(sums / counts[:, None])
+        out[:, -1] = counts

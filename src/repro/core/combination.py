@@ -63,31 +63,47 @@ class EdgeFeatureBuilder:
         Endpoints are canonicalised first so the same undirected edge always
         yields the same vector regardless of argument order.
         """
+        out = np.empty(self.feature_length)
+        self._fill_edge_feature(out, u, v)
+        return out
+
+    def edge_features(self, edges: Sequence[Edge]) -> np.ndarray:
+        """Stack Equation 4 vectors for a batch of edges.
+
+        The design matrix is preallocated and filled row by row — no per-edge
+        intermediate arrays, no ``np.vstack`` of per-row allocations.
+        """
+        out = np.zeros((len(edges), self.feature_length))
+        for row, (u, v) in enumerate(edges):
+            self._fill_edge_feature(out[row], u, v)
+        return out
+
+    def _fill_edge_feature(self, out: np.ndarray, u: Node, v: Node) -> None:
+        """Write the Equation 4 vector for ``⟨u, v⟩`` into ``out`` in place."""
         first, second = canonical_edge(u, v)
         community_of_first = self.division.community_containing(second, first)
         community_of_second = self.division.community_containing(first, second)
-
-        tightness_first, r_first = self._community_terms(community_of_first, first)
-        tightness_second, r_second = self._community_terms(community_of_second, second)
-        return np.concatenate(
-            [[tightness_first, tightness_second], r_first, r_second]
+        length = self.result_vector_length
+        out[0] = self._fill_community_terms(
+            out[2 : 2 + length], community_of_first, first
+        )
+        out[1] = self._fill_community_terms(
+            out[2 + length :], community_of_second, second
         )
 
-    def edge_features(self, edges: Sequence[Edge]) -> np.ndarray:
-        """Stack Equation 4 vectors for a batch of edges."""
-        if not edges:
-            return np.zeros((0, self.feature_length))
-        return np.vstack([self.edge_feature(u, v) for u, v in edges])
-
-    def _community_terms(
-        self, community: LocalCommunity | None, node: Node
-    ) -> tuple[float, np.ndarray]:
+    def _fill_community_terms(
+        self, out: np.ndarray, community: LocalCommunity | None, node: Node
+    ) -> float:
+        """Write ``r_C`` into ``out`` and return the node's tightness in ``C``."""
         if community is None:
-            return 0.0, np.zeros(self.result_vector_length)
+            out[:] = 0.0
+            return 0.0
         vector = self.result_vectors.get(community_key(community))
         if vector is None:
-            vector = np.zeros(self.result_vector_length)
-        return community.tightness.get(node, 0.0), vector
+            out[:] = 0.0
+        else:
+            out[:] = vector
+        return community.tightness.get(node, 0.0)
 
 
 class EdgeLabeler:

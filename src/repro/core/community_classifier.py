@@ -11,6 +11,11 @@ combination phase:
   vectors into the gradient-boosted trees; ``r_C`` is derived from the leaf
   values of the generated trees, compressed to per-class scores (plus the
   softmax probabilities) so the Phase III feature width stays bounded.
+
+Both classifiers gather their design tensors through the
+:class:`FeatureMatrixBuilder` they are handed, so the builder's ``backend``
+knob (``"dict"``/``"csr"``/``"auto"``) transparently selects the Phase II
+aggregation kernels — outputs are bit-identical either way.
 """
 
 from __future__ import annotations

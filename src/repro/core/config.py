@@ -63,9 +63,10 @@ class LoCECConfig:
         Phase I algorithm: ``"girvan_newman"`` (paper default),
         ``"label_propagation"`` or ``"louvain"`` (ablations).
     backend:
-        Phase I graph backend: ``"auto"`` (default; NumPy CSR kernels when
-        NumPy is available), ``"csr"``, or ``"dict"`` (pure-Python
-        reference).  Both produce identical communities and tightness.
+        Graph/aggregation kernel backend for Phases I and II: ``"auto"``
+        (default; NumPy CSR kernels when NumPy is available), ``"csr"``, or
+        ``"dict"`` (pure-Python reference).  Both produce identical
+        communities, tightness values and Phase II feature matrices.
     min_community_size:
         Communities smaller than this are still classified (the paper keeps
         singletons with tightness 1); the knob exists for ablations only.

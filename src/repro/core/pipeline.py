@@ -158,7 +158,10 @@ class LoCEC:
         # Phase II: aggregation + community classification.
         start = time.perf_counter()
         self.feature_builder_ = FeatureMatrixBuilder(
-            features=features, interactions=interactions, k=self.config.k
+            features=features,
+            interactions=interactions,
+            k=self.config.k,
+            backend=self.config.backend,
         )
         label_index = EdgeLabelIndex(labeled_edges)
         train_communities, community_labels = labeled_communities(

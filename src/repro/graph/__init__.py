@@ -9,6 +9,13 @@ Two interchangeable graph backends live here:
   snapshot with vectorized kernels for the Phase I hot paths (ego-network
   extraction, edge betweenness, Girvan-Newman, tightness, Louvain gains).
 
+The Phase II stores get the same treatment in :mod:`repro.graph.phase2`:
+:class:`Phase2Kernel` compiles :class:`InteractionStore` /
+:class:`NodeFeatureStore` into an :class:`InteractionMatrix` (CSR) plus a
+dense :class:`NodeFeatureMatrix`, and
+``repro.core.aggregation.FeatureMatrixBuilder(..., backend="auto")`` routes
+Algorithm 1 / statistic aggregation through it with bit-identical output.
+
 Which to use: build the graph with :class:`Graph`, then let
 ``repro.core.division.divide(..., backend="auto")`` (the default) route hot
 loops through CSR — both backends produce identical communities and
@@ -32,6 +39,11 @@ try:  # CSR layer requires NumPy; the dict backend must work without it.
         girvan_newman_csr,
         louvain_communities_csr,
     )
+    from repro.graph.phase2 import (
+        InteractionMatrix,
+        NodeFeatureMatrix,
+        Phase2Kernel,
+    )
 except ImportError:  # pragma: no cover - exercised only on NumPy-less hosts
     CSRGraph = None  # type: ignore[assignment,misc]
     community_tightness_csr = None  # type: ignore[assignment]
@@ -39,6 +51,9 @@ except ImportError:  # pragma: no cover - exercised only on NumPy-less hosts
     ego_network_csr = None  # type: ignore[assignment]
     girvan_newman_csr = None  # type: ignore[assignment]
     louvain_communities_csr = None  # type: ignore[assignment]
+    InteractionMatrix = None  # type: ignore[assignment,misc]
+    NodeFeatureMatrix = None  # type: ignore[assignment,misc]
+    Phase2Kernel = None  # type: ignore[assignment,misc]
 from repro.graph.ego import ego_network, ego_network_size, ego_networks
 from repro.graph.features import NodeFeatureStore
 from repro.graph.graph import Graph
@@ -55,8 +70,11 @@ from repro.graph.io import (
 __all__ = [
     "CSRGraph",
     "Graph",
+    "InteractionMatrix",
     "InteractionStore",
+    "NodeFeatureMatrix",
     "NodeFeatureStore",
+    "Phase2Kernel",
     "community_tightness_csr",
     "edge_betweenness_csr",
     "ego_network",

@@ -31,7 +31,7 @@ class NodeFeatureStore:
     array([1., 3.])
     """
 
-    __slots__ = ("_feature_names", "_features", "_default")
+    __slots__ = ("_feature_names", "_features", "_default", "_default_view", "_version")
 
     def __init__(
         self, feature_names: Sequence[str] = DEFAULT_FEATURE_NAMES
@@ -41,6 +41,9 @@ class NodeFeatureStore:
         self._feature_names = tuple(str(name) for name in feature_names)
         self._features: dict[Node, np.ndarray] = {}
         self._default = np.zeros(len(self._feature_names), dtype=np.float64)
+        self._default_view = self._default.view()
+        self._default_view.flags.writeable = False
+        self._version = 0
 
     @property
     def feature_names(self) -> tuple[str, ...]:
@@ -55,6 +58,11 @@ class NodeFeatureStore:
     def num_nodes(self) -> int:
         return len(self._features)
 
+    @property
+    def version(self) -> int:
+        """Write counter; compiled snapshots use it to detect staleness."""
+        return self._version
+
     # ------------------------------------------------------------------ access
     def set(self, node: Node, values: Sequence[float] | np.ndarray) -> None:
         """Set the feature vector of ``node``."""
@@ -65,6 +73,7 @@ class NodeFeatureStore:
                 f"got {arr.shape}"
             )
         self._features[node] = arr.copy()
+        self._version += 1
 
     def get(self, node: Node) -> np.ndarray:
         """Return the feature vector of ``node`` (a copy).
@@ -85,6 +94,20 @@ class NodeFeatureStore:
         vector = self._features.get(node)
         return vector.copy() if vector is not None else self._default.copy()
 
+    def get_view(self, node: Node) -> np.ndarray:
+        """Read-only, no-copy view of ``node``'s vector (or the zero default).
+
+        The batch accessor for hot loops: callers that only read (stacking
+        into a preallocated matrix, summing) skip the per-call allocation of
+        :meth:`get_or_default`.  The returned array is not writable.
+        """
+        vector = self._features.get(node)
+        if vector is None:
+            return self._default_view
+        view = vector.view()
+        view.flags.writeable = False
+        return view
+
     def has(self, node: Node) -> bool:
         return node in self._features
 
@@ -100,9 +123,13 @@ class NodeFeatureStore:
     # --------------------------------------------------------------- utilities
     def matrix(self, nodes: Sequence[Node]) -> np.ndarray:
         """Stack feature vectors of ``nodes`` into a ``len(nodes) × |f|`` matrix."""
-        if not nodes:
-            return np.zeros((0, self.num_features), dtype=np.float64)
-        return np.vstack([self.get_or_default(node) for node in nodes])
+        out = np.zeros((len(nodes), self.num_features), dtype=np.float64)
+        features = self._features
+        for row, node in enumerate(nodes):
+            vector = features.get(node)
+            if vector is not None:
+                out[row] = vector
+        return out
 
     def feature_index(self, name: str) -> int:
         """Index of feature ``name`` within the vectors."""

@@ -38,18 +38,24 @@ class InteractionStore:
     0.0
     """
 
-    __slots__ = ("_num_dims", "_counts")
+    __slots__ = ("_num_dims", "_counts", "_version")
 
     def __init__(self, num_dims: int = InteractionDim.count()) -> None:
         if num_dims <= 0:
             raise FeatureError("num_dims must be positive")
         self._num_dims = int(num_dims)
         self._counts: dict[Edge, np.ndarray] = {}
+        self._version = 0
 
     @property
     def num_dims(self) -> int:
         """The number of interaction dimensions ``|I|``."""
         return self._num_dims
+
+    @property
+    def version(self) -> int:
+        """Write counter; compiled snapshots use it to detect staleness."""
+        return self._version
 
     @property
     def num_edges_with_interaction(self) -> int:
@@ -66,6 +72,7 @@ class InteractionStore:
             vector = np.zeros(self._num_dims, dtype=np.float64)
             self._counts[edge] = vector
         vector[int(dim)] += count
+        self._version += 1
 
     def set_vector(self, u: Node, v: Node, vector: np.ndarray) -> None:
         """Replace the whole interaction vector of edge ``(u, v)``."""
@@ -81,6 +88,7 @@ class InteractionStore:
             self._counts[edge] = arr.copy()
         else:
             self._counts.pop(edge, None)
+        self._version += 1
 
     def update_from(
         self, records: Iterable[tuple[Node, Node, int, float]]
@@ -102,6 +110,21 @@ class InteractionStore:
         if vector is None:
             return np.zeros(self._num_dims, dtype=np.float64)
         return vector.copy()
+
+    def vector_view(self, u: Node, v: Node) -> np.ndarray | None:
+        """Read-only, no-copy view of edge ``(u, v)``'s vector, or ``None``.
+
+        The batch accessor for hot loops (Equation 1/2 pair scans): unlike
+        :meth:`vector` it neither copies nor materialises zeros for silent
+        edges — callers skip ``None`` instead of adding a zero vector.  The
+        returned array is not writable.
+        """
+        vector = self._counts.get(canonical_edge(u, v))
+        if vector is None:
+            return None
+        view = vector.view()
+        view.flags.writeable = False
+        return view
 
     def total(self, u: Node, v: Node) -> float:
         """Total interactions between ``u`` and ``v`` across all dimensions."""
