@@ -17,6 +17,7 @@ from repro.core.aggregation import FeatureMatrixBuilder
 from repro.core.division import divide
 from repro.graph.csr import CSRGraph, edge_betweenness_csr, ego_network_csr
 from repro.graph.ego import ego_network
+from repro.ml.gbdt import GradientBoostedClassifier
 
 
 def test_ego_extraction_csr(benchmark, bench_workload):
@@ -94,3 +95,73 @@ def test_phase2_statistic_vectors_csr(benchmark, bench_workload):
     csr_builder.statistic_vectors(communities[:1])  # compile outside timing
     design = run_once(benchmark, lambda: csr_builder.statistic_vectors(communities))
     assert np.array_equal(design[0], dict_builder.statistic_vector(communities[0]))
+
+
+def _model_design(bench_workload):
+    """Statistic-vector design matrix + deterministic labels for GBDT timing."""
+    _, csr_builder, communities = _phase2_builders(bench_workload)
+    design = csr_builder.statistic_vectors(communities)
+    labels = np.arange(len(communities)) % 3
+    return design, labels
+
+
+def test_gbdt_fit_node(benchmark, bench_workload):
+    design, labels = _model_design(bench_workload)
+    model = run_once(
+        benchmark,
+        lambda: GradientBoostedClassifier(
+            num_rounds=10, num_classes=3, backend="node"
+        ).fit(design, labels),
+    )
+    assert model.num_trees == 30
+
+
+def test_gbdt_fit_array(benchmark, bench_workload):
+    design, labels = _model_design(bench_workload)
+    model = run_once(
+        benchmark,
+        lambda: GradientBoostedClassifier(
+            num_rounds=10, num_classes=3, backend="array"
+        ).fit(design, labels),
+    )
+    assert model.forest_ is not None
+
+
+def test_forest_predict_node(benchmark, bench_workload):
+    design, labels = _model_design(bench_workload)
+    model = GradientBoostedClassifier(
+        num_rounds=10, num_classes=3, backend="node"
+    ).fit(design, labels)
+    proba, _ = run_once(
+        benchmark, lambda: (model.predict_proba(design), model.leaf_values(design))
+    )
+    assert proba.shape == (design.shape[0], 3)
+
+
+def test_forest_predict_array(benchmark, bench_workload):
+    design, labels = _model_design(bench_workload)
+    node_model = GradientBoostedClassifier(
+        num_rounds=10, num_classes=3, backend="node"
+    ).fit(design, labels)
+    array_model = GradientBoostedClassifier(
+        num_rounds=10, num_classes=3, backend="array"
+    ).fit(design, labels)
+    proba, leaves = run_once(
+        benchmark,
+        lambda: (array_model.predict_proba(design), array_model.leaf_values(design)),
+    )
+    assert np.array_equal(proba, node_model.predict_proba(design))
+    assert np.array_equal(leaves, node_model.leaf_values(design))
+
+
+def test_commcnn_tensor_dict(benchmark, bench_workload):
+    dict_builder, _, communities = _phase2_builders(bench_workload)
+    tensor = run_once(benchmark, lambda: dict_builder.matrices_as_tensor(communities))
+    assert tensor.shape[0] == len(communities)
+
+
+def test_commcnn_tensor_csr(benchmark, bench_workload):
+    dict_builder, csr_builder, communities = _phase2_builders(bench_workload)
+    csr_builder.matrices_as_tensor(communities[:1])  # compile outside timing
+    tensor = run_once(benchmark, lambda: csr_builder.matrices_as_tensor(communities))
+    assert np.array_equal(tensor, dict_builder.matrices_as_tensor(communities))

@@ -83,8 +83,14 @@ def build_benchmarks(quick: bool) -> dict[str, Callable[[], object]]:
     and ``phase2_{feature_matrices,statistic_vectors}_small_{dict,csr}`` —
     end-to-end Phase II aggregation over every division community (the
     Phase II kernel is likewise compiled outside the timed region, matching
-    its once-per-fit lifecycle).
+    its once-per-fit lifecycle).  The model layer gets the same treatment:
+    ``gbdt_fit_{node,array}`` (boosted fit on the statistic vectors),
+    ``forest_predict_{node,array}`` (probabilities + leaf-value embedding,
+    the LoCEC-XGB inference hot path) and ``commcnn_tensor_{dict,csr}``
+    (CNN input tensor emission, direct Phase2Kernel path on csr).
     """
+    import numpy as np
+
     from repro.community.betweenness import edge_betweenness
     from repro.community.louvain import louvain_communities
     from repro.core.aggregation import FeatureMatrixBuilder
@@ -98,6 +104,7 @@ def build_benchmarks(quick: bool) -> dict[str, Callable[[], object]]:
         louvain_communities_csr,
     )
     from repro.graph.ego import ego_network
+    from repro.ml.gbdt import GradientBoostedClassifier
     from repro.synthetic import make_workload
 
     scales = ["tiny"] if quick else ["tiny", "small"]
@@ -169,6 +176,37 @@ def build_benchmarks(quick: bool) -> dict[str, Callable[[], object]]:
             benchmarks[f"phase2_statistic_vectors_{scale}_{backend}"] = (
                 lambda b=builder, cs=communities: b.statistic_vectors(cs)
             )
+            benchmarks[f"commcnn_tensor_{scale}_{backend}"] = (
+                lambda b=builder, cs=communities: b.matrices_as_tensor(cs)
+            )
+
+    # Model-layer kernels: GBDT fit + batched forest inference on the last
+    # scale's statistic vectors (the LoCEC-XGB design matrix), node walks vs
+    # stacked forest tensors.  10 rounds x 3 classes keeps the node fit
+    # within the benchmark budget while exercising every kernel.
+    model_scale = scales[-1]
+    design = builders["csr"].statistic_vectors(
+        list(workloads[model_scale].division().all_communities())
+    )
+    labels = np.arange(design.shape[0]) % 3
+    fitted = {
+        backend: GradientBoostedClassifier(
+            num_rounds=10, num_classes=3, backend=backend
+        ).fit(design, labels)
+        for backend in ("node", "array")
+    }
+    for backend in ("node", "array"):
+        benchmarks[f"gbdt_fit_{model_scale}_{backend}"] = (
+            lambda be=backend, d=design, y=labels: GradientBoostedClassifier(
+                num_rounds=10, num_classes=3, backend=be
+            ).fit(d, y)
+        )
+        benchmarks[f"forest_predict_{model_scale}_{backend}"] = (
+            lambda m=fitted[backend], d=design: (
+                m.predict_proba(d),
+                m.leaf_values(d),
+            )
+        )
     return benchmarks
 
 
@@ -188,14 +226,17 @@ def run_suite(quick: bool, repeats: int) -> dict:
         "benchmarks": results,
         "derived": {},
     }
-    for name in list(results):
-        if name.endswith("_csr"):
-            twin = name[: -len("_csr")] + "_dict"
-            if twin in results:
-                speedup = results[twin]["seconds_per_op"] / results[name][
-                    "seconds_per_op"
-                ]
-                report["derived"][f"speedup_{name[: -len('_csr')]}"] = speedup
+    # Fast-backend vs reference-backend speedup pairs: csr/dict for the
+    # graph+aggregation kernels, array/node for the model-layer kernels.
+    for fast, reference in (("_csr", "_dict"), ("_array", "_node")):
+        for name in list(results):
+            if name.endswith(fast):
+                twin = name[: -len(fast)] + reference
+                if twin in results:
+                    speedup = results[twin]["seconds_per_op"] / results[name][
+                        "seconds_per_op"
+                    ]
+                    report["derived"][f"speedup_{name[: -len(fast)]}"] = speedup
     for key, value in sorted(report["derived"].items()):
         print(f"{key:40s} {value:6.2f}x")
     return report

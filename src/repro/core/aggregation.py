@@ -209,20 +209,17 @@ class FeatureMatrixBuilder:
 
     def matrices_as_tensor(self, communities: list[LocalCommunity]) -> np.ndarray:
         """Stack feature matrices into a ``(n, 1, k, |I|+|f|)`` CNN input tensor."""
+        if self._resolved_backend == "csr" and communities:
+            # Direct kernel->CNN tensor path: the batch rows are scattered
+            # into the padded tensor inside the kernel — no intermediate
+            # per-community matrices, no Python loop over communities.
+            kernel = self._compiled_kernel()
+            return kernel.community_tensor(
+                self._truncated_selection(communities), k=self.k
+            )
         tensor = np.zeros(
             (len(communities), 1, self.k, self.num_columns), dtype=np.float64
         )
-        if not communities:
-            return tensor
-        if self._resolved_backend == "csr":
-            # Fill the tensor straight from the batch rows — no intermediate
-            # per-community matrices.
-            ordered_lists, rows, offsets = self._batch_rows_csr(communities)
-            for index, ordered in enumerate(ordered_lists):
-                tensor[index, 0, : len(ordered)] = rows[
-                    offsets[index] : offsets[index + 1]
-                ]
-            return tensor
         for index, community in enumerate(communities):
             tensor[index, 0] = self._feature_matrix_dict(community).matrix
         return tensor
@@ -241,21 +238,25 @@ class FeatureMatrixBuilder:
             community=community, matrix=matrix, member_order=tuple(ordered)
         )
 
+    def _truncated_selection(
+        self, communities: list[LocalCommunity]
+    ) -> list[tuple[frozenset[Node], list[Node]]]:
+        """``(members, k-truncated tightness ordering)`` pairs — the
+        :class:`~repro.graph.phase2.Phase2Kernel` batch-API contract, built
+        in exactly one place so the tensor and matrix paths cannot drift."""
+        return [
+            (community.members, community.members_by_tightness()[: self.k])
+            for community in communities
+        ]
+
     def _batch_rows_csr(
         self, communities: list[LocalCommunity]
     ) -> tuple[list[list[Node]], np.ndarray, np.ndarray]:
         """Tightness-ordered (truncated) member lists + their batch rows."""
         kernel = self._compiled_kernel()
-        ordered_lists = [
-            community.members_by_tightness()[: self.k] for community in communities
-        ]
-        rows, offsets = kernel.community_rows_batch(
-            [
-                (community.members, ordered)
-                for community, ordered in zip(communities, ordered_lists)
-            ]
-        )
-        return ordered_lists, rows, offsets
+        pairs = self._truncated_selection(communities)
+        rows, offsets = kernel.community_rows_batch(pairs)
+        return [ordered for _, ordered in pairs], rows, offsets
 
     def _feature_matrices_csr(
         self, communities: list[LocalCommunity]

@@ -15,7 +15,11 @@ combination phase:
 Both classifiers gather their design tensors through the
 :class:`FeatureMatrixBuilder` they are handed, so the builder's ``backend``
 knob (``"dict"``/``"csr"``/``"auto"``) transparently selects the Phase II
-aggregation kernels — outputs are bit-identical either way.
+aggregation kernels — outputs are bit-identical either way.  The GBDT model
+additionally honours :attr:`GBDTConfig.backend`
+(``"node"``/``"array"``/``"auto"``), selecting between pointer-based tree
+walks and the stacked forest tensors of :mod:`repro.ml.forest`; fitted
+models and leaf-value embeddings are likewise bit-identical.
 """
 
 from __future__ import annotations
@@ -166,6 +170,7 @@ class GBDTCommunityClassifier(CommunityClassifier):
             subsample=self.config.subsample,
             num_classes=self.num_classes,
             seed=self.config.seed,
+            backend=self.config.backend,
         )
         self._model.fit(design, np.asarray(labels, dtype=np.int64))
         return self

@@ -42,10 +42,17 @@ class GBDTConfig:
     min_samples_leaf: int = 2
     subsample: float = 1.0
     seed: int = 0
+    backend: str = "auto"
+    """Model-layer backend: ``"node"`` walks, ``"array"`` forest tensors, or
+    ``"auto"`` (array when NumPy is available).  Outputs are bit-identical."""
 
     def validate(self) -> None:
         if self.num_rounds < 1:
             raise ModelConfigError("num_rounds must be positive")
+        if self.backend not in {"auto", "node", "array"}:
+            raise ModelConfigError(
+                f"backend must be 'auto', 'node' or 'array', got {self.backend!r}"
+            )
 
 
 @dataclass
@@ -67,6 +74,12 @@ class LoCECConfig:
         (default; NumPy CSR kernels when NumPy is available), ``"csr"``, or
         ``"dict"`` (pure-Python reference).  Both produce identical
         communities, tightness values and Phase II feature matrices.
+    ml_backend:
+        Model-layer backend for the Phase II/III tree models: ``"auto"``
+        (default; flattened forest tensors when NumPy is available),
+        ``"array"``, or ``"node"`` (pointer-based reference walks).  Fitted
+        models, probabilities and leaf-value embeddings are bit-identical
+        either way.
     min_community_size:
         Communities smaller than this are still classified (the paper keeps
         singletons with tightness 1); the knob exists for ablations only.
@@ -80,6 +93,7 @@ class LoCECConfig:
     community_model: str = "cnn"
     community_detector: str = "girvan_newman"
     backend: str = "auto"
+    ml_backend: str = "auto"
     min_community_size: int = 1
     edge_lr_iterations: int = 400
     edge_lr_learning_rate: float = 0.5
@@ -107,6 +121,10 @@ class LoCECConfig:
         if self.backend not in {"auto", "dict", "csr"}:
             raise ModelConfigError(
                 f"backend must be 'auto', 'dict' or 'csr', got {self.backend!r}"
+            )
+        if self.ml_backend not in {"auto", "node", "array"}:
+            raise ModelConfigError(
+                f"ml_backend must be 'auto', 'node' or 'array', got {self.ml_backend!r}"
             )
         if self.min_community_size < 1:
             raise ModelConfigError("min_community_size must be >= 1")

@@ -19,7 +19,7 @@ Typical usage::
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -212,10 +212,16 @@ class LoCEC:
                 num_classes=self._num_classes,
                 config=self.config.cnn,
             )
+        # The pipeline-level ml_backend knob governs the model layer; a
+        # GBDTConfig.backend set directly still wins when the pipeline knob
+        # is left on "auto".
+        gbdt_config = self.config.gbdt
+        if self.config.ml_backend != "auto":
+            gbdt_config = replace(gbdt_config, backend=self.config.ml_backend)
         return GBDTCommunityClassifier(
             self.feature_builder_,
             num_classes=self._num_classes,
-            config=self.config.gbdt,
+            config=gbdt_config,
         )
 
     def _compute_result_vectors(

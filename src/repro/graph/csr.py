@@ -1059,17 +1059,40 @@ def tightness_from_dense(
     return values
 
 
+_TIGHTNESS_ARRAY_MIN_SIZE = 32
+"""Member count below which the scalar membership loop beats the batched
+kernel: the array path pays fixed NumPy call overhead (gather, repeat,
+searchsorted, bincount) that WeChat-like communities of a few dozen members
+never amortise (see the ``community_tightness_{dict,csr}`` bench pair)."""
+
+
 def community_tightness_csr(
     ego_net: Graph | CSRGraph, community: Collection[Node]
 ) -> dict[Node, float]:
     """Batched drop-in for :func:`repro.core.tightness.community_tightness`.
 
     One sorted-membership pass over the members' concatenated adjacency rows
-    replaces the per-member set rebuild of the dict backend.
+    replaces the per-member set rebuild of the dict backend.  Routing is
+    size-aware: below :data:`_TIGHTNESS_ARRAY_MIN_SIZE` members the batched
+    kernel's fixed call overhead outweighs the flop savings, so small
+    communities run the dict reference directly (on the ego net itself or
+    the CSR's retained source graph) or, lacking one, a scalar pass over
+    the same CSR rows — identical arithmetic, identical results, no
+    backend-dependent output.
     """
+    if len(community) < _TIGHTNESS_ARRAY_MIN_SIZE:
+        from repro.core.tightness import community_tightness
+
+        if isinstance(ego_net, Graph):
+            return community_tightness(ego_net, community)
+        if ego_net._source is not None:
+            return community_tightness(ego_net._source, community)
+        return _community_tightness_small(ego_net, community)
     csr = ego_net if isinstance(ego_net, CSRGraph) else CSRGraph.from_graph(ego_net)
+    # Dedup like the dict reference (which materialises a member *set*), so a
+    # community handed in as a list with repeated nodes cannot skew |C|.
     members = np.array(
-        sorted(csr.index_of(node) for node in community), dtype=np.int32
+        sorted({csr.index_of(node) for node in community}), dtype=np.int32
     )
     size = int(members.size)
     if size == 0:
@@ -1091,6 +1114,38 @@ def community_tightness_csr(
             values[csr.label_of(member)] = 0.0
         else:
             values[csr.label_of(member)] = (fc / fe) * (fc / (size - 1))
+    return values
+
+
+def _community_tightness_small(
+    csr: CSRGraph, community: Collection[Node]
+) -> dict[Node, float]:
+    """Equation 3 for a small community: scalar loop over the CSR rows.
+
+    Same integer counts and float operations as the batched path (and the
+    dict backend), so the values are bit-identical — only the traversal
+    strategy differs.
+    """
+    member_idx = sorted({csr.index_of(node) for node in community})
+    size = len(member_idx)
+    if size == 0:
+        return {}
+    if size == 1:
+        return {csr.label_of(member_idx[0]): 1.0}
+    member_set = set(member_idx)
+    indptr = csr.indptr
+    indices = csr.indices
+    values: dict[Node, float] = {}
+    for member in member_idx:
+        row = indices[indptr[member] : indptr[member + 1]].tolist()
+        friends_in_ego = len(row)
+        if friends_in_ego == 0:
+            values[csr.label_of(member)] = 0.0
+            continue
+        friends_in_community = sum(1 for other in row if other in member_set)
+        values[csr.label_of(member)] = (friends_in_community / friends_in_ego) * (
+            friends_in_community / (size - 1)
+        )
     return values
 
 

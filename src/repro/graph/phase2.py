@@ -18,7 +18,10 @@ per-community question with batched NumPy gathers:
   :meth:`Phase2Kernel.community_share_rows`, which computes every
   community's member-pair interaction totals **once** (``O(|C|^2)`` instead
   of ``O(k * |C|^2)``) and derives all requested members' Equation-2 share
-  vectors from them in one shot, across a whole batch of communities.
+  vectors from them in one shot, across a whole batch of communities, and
+  :meth:`Phase2Kernel.community_tensor`, which scatters those batch rows
+  directly into the zero-padded ``(n, 1, k, |I|+|f|)`` CommCNN input tensor
+  with no intermediate per-community matrices.
 
 Parity contract: interaction counts are integer-valued in every workload the
 repo generates, and sums of integers below 2^53 are exact in float64
@@ -349,3 +352,33 @@ class Phase2Kernel:
             rows[offsets[c] : offsets[c + 1], :num_dims]
             for c in range(len(communities))
         ]
+
+    def community_tensor(
+        self,
+        communities: Sequence[tuple[Collection[Node], Sequence[Node]]],
+        k: int,
+    ) -> np.ndarray:
+        """CNN input tensor ``(n, 1, k, |I| + |f|)`` straight from batch rows.
+
+        One fancy-index scatter places every community's Phase II rows into
+        its zero-padded ``k``-row slab — no intermediate per-community
+        ``CommunityFeatureMatrix`` objects, no Python loop over communities.
+        Each ``selected`` list must already be truncated to at most ``k``
+        members (the aggregation layer guarantees this).
+        """
+        rows, offsets = self.community_rows_batch(communities)
+        num_comms = len(communities)
+        num_columns = self.interactions.num_dims + self.features.num_features
+        tensor = np.zeros((num_comms, 1, k, num_columns), dtype=np.float64)
+        if rows.shape[0] == 0:
+            return tensor
+        counts = np.diff(offsets)
+        if counts.max() > k:
+            raise ValueError(
+                f"selected member lists must hold at most k={k} rows, "
+                f"got {int(counts.max())}"
+            )
+        comm_of_row = np.repeat(np.arange(num_comms), counts)
+        row_within = np.arange(rows.shape[0]) - np.repeat(offsets[:-1], counts)
+        tensor[comm_of_row, 0, row_within] = rows
+        return tensor

@@ -1,6 +1,12 @@
 """From-scratch machine-learning substrate (GBDT, logistic regression, CNN, metrics)."""
 
 from repro.ml.base import Classifier, one_hot, softmax
+from repro.ml.forest import (
+    ML_BACKENDS,
+    ForestTensor,
+    TreeTensor,
+    resolve_ml_backend,
+)
 from repro.ml.gbdt import GradientBoostedClassifier
 from repro.ml.logistic import LogisticRegression
 from repro.ml.metrics import (
@@ -29,6 +35,10 @@ __all__ = [
     "GradientBoostedClassifier",
     "GradientRegressionTree",
     "RegressionTreeConfig",
+    "ML_BACKENDS",
+    "ForestTensor",
+    "TreeTensor",
+    "resolve_ml_backend",
     "accuracy",
     "classification_report",
     "confusion_matrix",

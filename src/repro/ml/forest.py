@@ -1,0 +1,305 @@
+"""Array-backed kernels for the tree/GBDT model layer.
+
+The node backend of :mod:`repro.ml.tree` walks one sample at a time through
+``_TreeNode`` objects — an interpreter-bound loop repeated for every tree of
+every boosting round.  This module flattens fitted trees into
+struct-of-arrays *tensors* and answers every inference question with batched
+level-wise traversal, mirroring the ``dict``/``csr`` kernel split of the
+graph layer:
+
+* :class:`TreeTensor` — one tree as parallel ``feature``/``threshold``/
+  ``left``/``right``/``value``/``leaf_id`` arrays.  ``feature[i] < 0`` marks
+  a leaf.  Traversal advances *all* rows one level per NumPy step, so a
+  batch prediction costs ``O(depth)`` array ops instead of ``O(rows)``
+  Python loops.
+* :class:`ForestTensor` — every tree of a boosted ensemble concatenated into
+  one node pool with per-tree root offsets.  One traversal sweep moves all
+  ``rows x trees`` cursors together, so ``predict_raw``, ``apply`` and the
+  leaf-value embedding of all rounds x classes are a single batched walk.
+* :func:`best_split_array` — the exact greedy split search of
+  :meth:`repro.ml.tree.GradientRegressionTree._best_split` with the inner
+  position loop replaced by ``cumsum`` + masked-gain ``argmax`` per feature.
+
+Parity contract: the array kernels execute the same float64 operations in
+the same order as the node walks (per-position gain arithmetic, threshold
+midpoints, sequential per-tree score accumulation), so fitted trees and all
+predictions are **bit-identical** across backends — the randomized suite in
+``tests/test_ml_forest.py`` arbitrates, exactly as the graph parity suites
+do for Phases I and II.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelConfigError
+
+ML_BACKENDS = ("auto", "node", "array")
+"""Valid model-layer backends: pointer-based ``_TreeNode`` walks, flat NumPy
+tensors, or ``auto`` (currently the tensors: unlike the graph layer's dict
+backend, the whole ML substrate already requires NumPy, so there is no
+NumPy-free fallback for ``auto`` to pick — ``"node"`` exists as an explicit
+reference/debugging choice)."""
+
+
+def resolve_ml_backend(backend: str) -> str:
+    """Resolve an ML backend name to the concrete implementation to run.
+
+    Mirrors :func:`repro.core.division.resolve_backend` in shape; ``auto``
+    resolves to the array kernels (see :data:`ML_BACKENDS`).
+    """
+    if backend not in ML_BACKENDS:
+        raise ModelConfigError(
+            f"unknown ml backend {backend!r}; available: {sorted(ML_BACKENDS)}"
+        )
+    return "array" if backend == "auto" else backend
+
+
+class TreeTensor:
+    """A fitted regression tree flattened to struct-of-arrays form.
+
+    ``feature[i] >= 0`` marks an internal node splitting on that feature at
+    ``threshold[i]`` with children ``left[i]``/``right[i]``; ``feature[i] < 0``
+    marks a leaf carrying ``value[i]`` and ``leaf_id[i]``.  Slot 0 is always
+    the root.
+    """
+
+    __slots__ = ("feature", "threshold", "left", "right", "value", "leaf_id")
+
+    def __init__(
+        self,
+        feature: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        value: np.ndarray,
+        leaf_id: np.ndarray,
+    ) -> None:
+        self.feature = feature
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+        self.value = value
+        self.leaf_id = leaf_id
+
+    @classmethod
+    def from_root(cls, root) -> "TreeTensor":
+        """Flatten a ``_TreeNode`` tree (preorder, root at slot 0)."""
+        order = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            if node.feature is not None:
+                stack.append(node.right)
+                stack.append(node.left)
+        slot = {id(node): position for position, node in enumerate(order)}
+        count = len(order)
+        feature = np.full(count, -1, dtype=np.int64)
+        threshold = np.zeros(count, dtype=np.float64)
+        left = np.zeros(count, dtype=np.int64)
+        right = np.zeros(count, dtype=np.int64)
+        value = np.zeros(count, dtype=np.float64)
+        leaf_id = np.full(count, -1, dtype=np.int64)
+        for position, node in enumerate(order):
+            value[position] = node.value
+            if node.feature is None:
+                leaf_id[position] = node.leaf_id
+            else:
+                feature[position] = node.feature
+                threshold[position] = node.threshold
+                left[position] = slot[id(node.left)]
+                right[position] = slot[id(node.right)]
+        return cls(feature, threshold, left, right, value, leaf_id)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.feature.size)
+
+    def leaf_slots(self, X: np.ndarray) -> np.ndarray:
+        """Node-pool slot of the leaf each row of ``X`` falls into."""
+        num_rows = X.shape[0]
+        position = np.zeros(num_rows, dtype=np.int64)
+        row_index = np.arange(num_rows)
+        while True:
+            feature = self.feature[position]
+            internal = feature >= 0
+            if not internal.any():
+                return position
+            x_value = X[row_index, np.where(internal, feature, 0)]
+            go_left = x_value <= self.threshold[position]
+            child = np.where(go_left, self.left[position], self.right[position])
+            position = np.where(internal, child, position)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Leaf weight per row (batched twin of the node walk)."""
+        return self.value[self.leaf_slots(X)]
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index (0-based, per tree) per row."""
+        return self.leaf_id[self.leaf_slots(X)]
+
+    def depth(self) -> int:
+        """Tree depth via a vectorized level sweep (no recursion)."""
+        frontier = np.array([0], dtype=np.int64)
+        depth = 0
+        while True:
+            internal = frontier[self.feature[frontier] >= 0]
+            if internal.size == 0:
+                return depth
+            frontier = np.concatenate([self.left[internal], self.right[internal]])
+            depth += 1
+
+
+class ForestTensor:
+    """All trees of a boosted ensemble packed into one stacked node pool.
+
+    Tree ``t`` occupies slots ``indptr[t]:indptr[t + 1]`` with its root at
+    ``indptr[t]``; ``left``/``right`` hold absolute pool slots, so one
+    ``(rows, trees)`` cursor matrix traverses every tree of every round in
+    lockstep.
+    """
+
+    __slots__ = ("feature", "threshold", "left", "right", "value", "leaf_id", "roots")
+
+    def __init__(self, tensors: list[TreeTensor]) -> None:
+        sizes = np.fromiter(
+            (tensor.num_nodes for tensor in tensors), dtype=np.int64, count=len(tensors)
+        )
+        indptr = np.zeros(len(tensors) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        self.roots = indptr[:-1]
+        self.feature = np.concatenate([tensor.feature for tensor in tensors])
+        self.threshold = np.concatenate([tensor.threshold for tensor in tensors])
+        self.left = np.concatenate(
+            [tensor.left + offset for tensor, offset in zip(tensors, self.roots)]
+        )
+        self.right = np.concatenate(
+            [tensor.right + offset for tensor, offset in zip(tensors, self.roots)]
+        )
+        self.value = np.concatenate([tensor.value for tensor in tensors])
+        self.leaf_id = np.concatenate([tensor.leaf_id for tensor in tensors])
+
+    @classmethod
+    def from_trees(cls, trees) -> "ForestTensor":
+        """Stack fitted :class:`~repro.ml.tree.GradientRegressionTree` objects.
+
+        ``trees`` is the flat round-major tree list (round 0's class trees,
+        then round 1's, ...), matching the column order of the node backend's
+        leaf embeddings.
+        """
+        return cls([tree.tensor() for tree in trees])
+
+    @property
+    def num_trees(self) -> int:
+        return int(self.roots.size)
+
+    def leaf_slots(self, X: np.ndarray) -> np.ndarray:
+        """``(rows, trees)`` pool slots of the leaves all cursors land on."""
+        num_rows = X.shape[0]
+        position = np.broadcast_to(self.roots, (num_rows, self.num_trees)).copy()
+        while True:
+            feature = self.feature[position]
+            internal = feature >= 0
+            if not internal.any():
+                return position
+            x_value = np.take_along_axis(X, np.where(internal, feature, 0), axis=1)
+            go_left = x_value <= self.threshold[position]
+            child = np.where(go_left, self.left[position], self.right[position])
+            position = np.where(internal, child, position)
+
+    def leaf_values_matrix(self, X: np.ndarray) -> np.ndarray:
+        """``(rows, trees)`` leaf-weight matrix — the LoCEC-XGB embedding."""
+        return self.value[self.leaf_slots(X)]
+
+    def leaf_indices_matrix(self, X: np.ndarray) -> np.ndarray:
+        """``(rows, trees)`` leaf-index matrix (GBDT+LR style)."""
+        return self.leaf_id[self.leaf_slots(X)]
+
+    def decision_function(
+        self,
+        X: np.ndarray,
+        base_score: np.ndarray,
+        learning_rate: float,
+        num_classes: int,
+    ) -> np.ndarray:
+        """Raw boosted scores from one traversal sweep.
+
+        Per-tree contributions are accumulated sequentially in round-major
+        order — the same float additions in the same order as the node
+        backend's per-round loop, keeping the raw scores bit-identical.
+        """
+        values = self.leaf_values_matrix(X)
+        raw = np.tile(base_score, (X.shape[0], 1))
+        for tree_index in range(self.num_trees):
+            raw[:, tree_index % num_classes] += learning_rate * values[:, tree_index]
+        return raw
+
+
+def best_split_array(
+    X: np.ndarray,
+    gradients: np.ndarray,
+    hessians: np.ndarray,
+    indices: np.ndarray,
+    grad_sum: float,
+    hess_sum: float,
+    config,
+) -> tuple[int, float, np.ndarray, np.ndarray] | None:
+    """Vectorized exact greedy split search (array twin of ``_best_split``).
+
+    Per feature: one mergesort ``argsort``, gradient/hessian ``cumsum``, the
+    full gain vector in four elementwise ops, then a masked ``argmax`` —
+    no Python loop over split positions.  The gain arithmetic matches the
+    node backend's scalar loop term for term, and ``argmax`` returns the
+    first position attaining the maximum exactly as the strict ``>`` scan
+    does, so the chosen splits (and therefore the fitted trees) are
+    bit-identical.
+    """
+    lam = config.reg_lambda
+    parent_score = grad_sum * grad_sum / (hess_sum + lam)
+    low = config.min_samples_leaf - 1
+    high = indices.size - config.min_samples_leaf
+    if high <= low:
+        return None
+    best_gain = config.min_gain
+    best: tuple[int, float, np.ndarray, np.ndarray] | None = None
+
+    for feature in range(X.shape[1]):
+        values = X[indices, feature]
+        order = np.argsort(values, kind="mergesort")
+        sorted_idx = indices[order]
+        sorted_values = values[order]
+        grad_cum = np.cumsum(gradients[sorted_idx])
+        hess_cum = np.cumsum(hessians[sorted_idx])
+
+        grad_left = grad_cum[low:high]
+        hess_left = hess_cum[low:high]
+        grad_right = grad_sum - grad_left
+        hess_right = hess_sum - hess_left
+        gains = (
+            0.5
+            * (
+                grad_left * grad_left / (hess_left + lam)
+                + grad_right * grad_right / (hess_right + lam)
+                - parent_score
+            )
+            - config.gamma
+        )
+        # Cannot split between equal feature values; NaN gains (possible only
+        # with a zero-hessian, zero-lambda corner) lose every strict `>`
+        # comparison on the node backend, so they are masked out identically.
+        splittable = sorted_values[low:high] != sorted_values[low + 1 : high + 1]
+        gains = np.where(splittable & ~np.isnan(gains), gains, -np.inf)
+        offset = int(np.argmax(gains))
+        gain = gains[offset]
+        if gain > best_gain:
+            position = low + offset
+            threshold = 0.5 * (sorted_values[position] + sorted_values[position + 1])
+            best_gain = gain
+            best = (
+                feature,
+                float(threshold),
+                sorted_idx[: position + 1],
+                sorted_idx[position + 1 :],
+            )
+    return best

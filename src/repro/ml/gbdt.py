@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.exceptions import ModelConfigError
 from repro.ml.base import check_fitted, check_X_y, one_hot, softmax
+from repro.ml.forest import ForestTensor, resolve_ml_backend
 from repro.ml.tree import GradientRegressionTree, RegressionTreeConfig
 
 
@@ -40,6 +41,12 @@ class GradientBoostedClassifier:
         Number of classes; inferred from the labels when ``None``.
     seed:
         Seed for row subsampling.
+    backend:
+        ``"node"`` for per-row ``_TreeNode`` walks, ``"array"`` for the
+        stacked :class:`~repro.ml.forest.ForestTensor` kernels (one batched
+        traversal over all rounds x classes), ``"auto"`` (default) to pick
+        the array kernels when NumPy is available.  Fitted models and every
+        prediction are bit-identical across backends.
 
     Examples
     --------
@@ -63,6 +70,7 @@ class GradientBoostedClassifier:
         subsample: float = 1.0,
         num_classes: int | None = None,
         seed: int = 0,
+        backend: str = "auto",
     ) -> None:
         if num_rounds < 1:
             raise ModelConfigError("num_rounds must be >= 1")
@@ -82,7 +90,10 @@ class GradientBoostedClassifier:
         self.subsample = subsample
         self.num_classes = num_classes
         self.seed = seed
+        self.backend = backend
+        self._resolved_backend = resolve_ml_backend(backend)
         self.trees_: list[list[GradientRegressionTree]] | None = None
+        self.forest_: ForestTensor | None = None
         self.base_score_: np.ndarray | None = None
         self.train_loss_history_: list[float] = []
 
@@ -119,7 +130,7 @@ class GradientBoostedClassifier:
 
             round_trees: list[GradientRegressionTree] = []
             for class_index in range(num_classes):
-                tree = GradientRegressionTree(self.tree_config)
+                tree = GradientRegressionTree(self.tree_config, backend=self.backend)
                 tree.fit(
                     X[row_idx],
                     gradients[row_idx, class_index],
@@ -140,20 +151,37 @@ class GradientBoostedClassifier:
             self.train_loss_history_.append(loss)
 
         self._num_classes = num_classes
+        self.forest_ = None
+        if self._resolved_backend == "array":
+            self.forest_ = ForestTensor.from_trees(
+                [tree for round_trees in self.trees_ for tree in round_trees]
+            )
         return self
 
     # --------------------------------------------------------------- inference
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Raw (pre-softmax) scores of shape ``(n_samples, n_classes)``."""
-        check_fitted(self, "trees_")
-        X = np.asarray(X, dtype=np.float64)
-        if X.ndim == 1:
-            X = X.reshape(1, -1)
+        X = self._check_inference_input(X)
+        if self.forest_ is not None:
+            return self.forest_.decision_function(
+                X, self.base_score_, self.learning_rate, self._num_classes
+            )
         raw = np.tile(self.base_score_, (X.shape[0], 1))
         for round_trees in self.trees_:
             for class_index, tree in enumerate(round_trees):
                 raw[:, class_index] += self.learning_rate * tree.predict(X)
         return raw
+
+    def predict_raw(self, X: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`decision_function` (XGBoost's ``predict_raw``)."""
+        return self.decision_function(X)
+
+    def _check_inference_input(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "trees_")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return X
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Class-probability matrix of shape ``(n_samples, n_classes)``."""
@@ -171,10 +199,9 @@ class GradientBoostedClassifier:
         representation ``r_C``: each column is the leaf weight the sample
         reaches in one of the generated trees.
         """
-        check_fitted(self, "trees_")
-        X = np.asarray(X, dtype=np.float64)
-        if X.ndim == 1:
-            X = X.reshape(1, -1)
+        X = self._check_inference_input(X)
+        if self.forest_ is not None:
+            return self.forest_.leaf_values_matrix(X)
         columns = [
             tree.predict(X) for round_trees in self.trees_ for tree in round_trees
         ]
@@ -183,10 +210,9 @@ class GradientBoostedClassifier:
     def leaf_indices(self, X: np.ndarray) -> np.ndarray:
         """Leaf-*index* embedding (as in Facebook's GBDT+LR): same shape as
         :meth:`leaf_values` but with integer leaf ids."""
-        check_fitted(self, "trees_")
-        X = np.asarray(X, dtype=np.float64)
-        if X.ndim == 1:
-            X = X.reshape(1, -1)
+        X = self._check_inference_input(X)
+        if self.forest_ is not None:
+            return self.forest_.leaf_indices_matrix(X)
         columns = [
             tree.apply(X) for round_trees in self.trees_ for tree in round_trees
         ]

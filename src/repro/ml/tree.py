@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import DimensionMismatchError, ModelConfigError, NotFittedError
+from repro.ml.forest import TreeTensor, best_split_array, resolve_ml_backend
 
 
 @dataclass
@@ -61,12 +62,23 @@ class GradientRegressionTree:
     ----------
     config:
         Tree hyper-parameters (depth, regularisation, minimum leaf size).
+    backend:
+        ``"node"`` for the pointer-based reference walks, ``"array"`` for the
+        flattened :class:`~repro.ml.forest.TreeTensor` kernels, ``"auto"``
+        (default) to pick the array kernels when NumPy is available.  Both
+        backends fit bit-identical trees and produce bit-identical
+        predictions (``tests/test_ml_forest.py``).
     """
 
-    def __init__(self, config: RegressionTreeConfig | None = None) -> None:
+    def __init__(
+        self, config: RegressionTreeConfig | None = None, backend: str = "auto"
+    ) -> None:
         self.config = config or RegressionTreeConfig()
         self.config.validate()
+        self.backend = backend
+        self._resolved_backend = resolve_ml_backend(backend)
         self.root_: _TreeNode | None = None
+        self.tensor_: TreeTensor | None = None
         self.num_leaves_: int = 0
 
     def fit(
@@ -83,8 +95,11 @@ class GradientRegressionTree:
                 "gradients and hessians must be 1-D with one entry per sample"
             )
         self.num_leaves_ = 0
+        self.tensor_ = None
         indices = np.arange(X.shape[0])
         self.root_ = self._build(X, gradients, hessians, indices, depth=0)
+        if self._resolved_backend == "array":
+            self.tensor_ = TreeTensor.from_root(self.root_)
         return self
 
     # ------------------------------------------------------------------ growth
@@ -130,7 +145,16 @@ class GradientRegressionTree:
         grad_sum: float,
         hess_sum: float,
     ) -> tuple[int, float, np.ndarray, np.ndarray] | None:
-        """Exact greedy split search over all features and thresholds."""
+        """Exact greedy split search over all features and thresholds.
+
+        The array backend runs the same search with the inner position loop
+        vectorized (:func:`repro.ml.forest.best_split_array`); chosen splits
+        are bit-identical.
+        """
+        if self._resolved_backend == "array":
+            return best_split_array(
+                X, gradients, hessians, indices, grad_sum, hess_sum, self.config
+            )
         lam = self.config.reg_lambda
         parent_score = grad_sum * grad_sum / (hess_sum + lam)
         best_gain = self.config.min_gain
@@ -177,11 +201,15 @@ class GradientRegressionTree:
     # --------------------------------------------------------------- inference
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted leaf weight for each row of ``X``."""
+        if self.tensor_ is not None:
+            return self.tensor_.predict(self._check_inference_input(X))
         leaves = self._apply_nodes(X)
         return np.array([leaf.value for leaf in leaves], dtype=np.float64)
 
     def apply(self, X: np.ndarray) -> np.ndarray:
         """Leaf index (0-based, per tree) each row of ``X`` falls into."""
+        if self.tensor_ is not None:
+            return self.tensor_.apply(self._check_inference_input(X))
         leaves = self._apply_nodes(X)
         return np.array([leaf.leaf_id for leaf in leaves], dtype=np.int64)
 
@@ -189,12 +217,25 @@ class GradientRegressionTree:
         """Leaf weight each row falls into (same as :meth:`predict`)."""
         return self.predict(X)
 
-    def _apply_nodes(self, X: np.ndarray) -> list[_TreeNode]:
+    def tensor(self) -> TreeTensor:
+        """The flattened form of the fitted tree (built lazily on the node
+        backend, cached after :meth:`fit` on the array backend)."""
+        if self.root_ is None:
+            raise NotFittedError(self)
+        if self.tensor_ is None:
+            self.tensor_ = TreeTensor.from_root(self.root_)
+        return self.tensor_
+
+    def _check_inference_input(self, X: np.ndarray) -> np.ndarray:
         if self.root_ is None:
             raise NotFittedError(self)
         X = np.asarray(X, dtype=np.float64)
         if X.ndim == 1:
             X = X.reshape(1, -1)
+        return X
+
+    def _apply_nodes(self, X: np.ndarray) -> list[_TreeNode]:
+        X = self._check_inference_input(X)
         leaves: list[_TreeNode] = []
         for row in X:
             node = self.root_
@@ -209,11 +250,27 @@ class GradientRegressionTree:
         """Actual depth of the grown tree."""
         if self.root_ is None:
             raise NotFittedError(self)
+        if self.tensor_ is not None:
+            return self.tensor_.depth()
         return _node_depth(self.root_)
 
 
 def _node_depth(node: _TreeNode) -> int:
-    if node.is_leaf:
-        return 0
-    assert node.left is not None and node.right is not None
-    return 1 + max(_node_depth(node.left), _node_depth(node.right))
+    """Depth of the subtree under ``node``, via an iterative sweep.
+
+    Deep unbalanced trees (``max_depth`` in the thousands) would blow the
+    interpreter's recursion limit under the old recursive formulation; the
+    explicit stack handles any depth in O(nodes).
+    """
+    deepest = 0
+    stack: list[tuple[_TreeNode, int]] = [(node, 0)]
+    while stack:
+        current, depth = stack.pop()
+        if current.is_leaf:
+            if depth > deepest:
+                deepest = depth
+            continue
+        assert current.left is not None and current.right is not None
+        stack.append((current.left, depth + 1))
+        stack.append((current.right, depth + 1))
+    return deepest

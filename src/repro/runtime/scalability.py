@@ -31,7 +31,15 @@ from repro.synthetic.network import SocialNetworkDataset
 
 @dataclass
 class MeasuredPhaseTimes:
-    """Wall-clock seconds of a real (local) run of the three phases."""
+    """Wall-clock seconds of a real (local) run of the three phases.
+
+    The three model-kernel timings (GBDT fit, batched forest inference, CNN
+    tensor emission) are zero unless :func:`measure_phases` ran with
+    ``include_model_kernels=True``; they time the Phase II/III model layer
+    on the selected ``ml_backend`` and are excluded from
+    :attr:`total_seconds`, which keeps the cost-model calibration a pure
+    per-item phase cost as before.
+    """
 
     num_nodes: int
     num_edges: int
@@ -39,6 +47,9 @@ class MeasuredPhaseTimes:
     phase1_seconds: float
     phase2_seconds: float
     phase3_seconds: float
+    gbdt_fit_seconds: float = 0.0
+    forest_predict_seconds: float = 0.0
+    commcnn_tensor_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -63,13 +74,21 @@ def measure_phases(
     detector: str = "girvan_newman",
     max_egos: int | None = None,
     backend: str = "auto",
+    ml_backend: str = "auto",
+    include_model_kernels: bool = False,
+    gbdt_rounds: int = 10,
 ) -> MeasuredPhaseTimes:
     """Time the three LoCEC phases on a real (synthetic) dataset.
 
     ``max_egos`` limits Phase I to a node sample so the measurement fits in a
     benchmark budget; per-item costs are unaffected because all phases are
     per-item computations.  ``backend`` selects the kernel layer for Phases I
-    and II (``"auto"``/``"csr"``/``"dict"``), mirroring ``LoCECConfig``.
+    and II (``"auto"``/``"csr"``/``"dict"``) and ``ml_backend`` the model
+    layer (``"auto"``/``"array"``/``"node"``), mirroring ``LoCECConfig``.
+    With ``include_model_kernels=True`` the model-layer kernels are timed
+    too: ``gbdt_fit`` (a ``gbdt_rounds``-round boosted fit on the statistic
+    vectors), ``forest_predict`` (probabilities + the leaf-value embedding)
+    and ``commcnn_tensor`` (CNN input tensor emission).
     """
     egos = list(dataset.graph.nodes())
     if max_egos is not None:
@@ -92,6 +111,29 @@ def measure_phases(
     builder.feature_matrices(communities)
     phase2_seconds = time.perf_counter() - start
 
+    gbdt_fit_seconds = forest_predict_seconds = commcnn_tensor_seconds = 0.0
+    if include_model_kernels and communities:
+        from repro.ml.gbdt import GradientBoostedClassifier
+
+        design = builder.statistic_vectors(communities)
+        # Deterministic synthetic labels: this times the kernels, it does
+        # not evaluate accuracy, so any >=2-class assignment works.
+        labels = [index % 3 for index in range(len(communities))]
+        start = time.perf_counter()
+        model = GradientBoostedClassifier(
+            num_rounds=gbdt_rounds, num_classes=3, backend=ml_backend
+        ).fit(design, labels)
+        gbdt_fit_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        model.predict_proba(design)
+        model.leaf_values(design)
+        forest_predict_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        builder.matrices_as_tensor(communities)
+        commcnn_tensor_seconds = time.perf_counter() - start
+
     # Phase III per-edge work: Equation 4 assembly is two dictionary lookups
     # plus a concatenation; time it over the edges incident to the processed egos.
     processed = set(egos)
@@ -113,6 +155,9 @@ def measure_phases(
         phase1_seconds=phase1_seconds,
         phase2_seconds=phase2_seconds,
         phase3_seconds=phase3_seconds,
+        gbdt_fit_seconds=gbdt_fit_seconds,
+        forest_predict_seconds=forest_predict_seconds,
+        commcnn_tensor_seconds=commcnn_tensor_seconds,
     )
 
 

@@ -193,6 +193,37 @@ class TestTightnessParity:
         assert values[1] == 0.0
         assert values == community_tightness(net, {1, 2, 3})
 
+    @pytest.mark.parametrize("size", (31, 32, 80))
+    def test_batched_kernel_above_routing_threshold(self, size):
+        # Communities >= _TIGHTNESS_ARRAY_MIN_SIZE take the batched
+        # gather/searchsorted/bincount kernel (smaller ones route to the
+        # scalar reference), so this pins parity on both sides of the cut.
+        graph = random_graph(0, n=size + 20, p=0.3)
+        community = list(graph.nodes())[:size]
+        reference = community_tightness(graph, community)
+        batched = community_tightness_csr(CSRGraph.from_graph(graph), community)
+        assert batched == reference
+        # A source-less CSR exercises the scalar CSR fallback when small.
+        rebuilt = CSRGraph(
+            CSRGraph.from_graph(graph).indptr,
+            CSRGraph.from_graph(graph).indices,
+            list(graph.nodes()),
+        )
+        assert community_tightness_csr(rebuilt, community) == reference
+
+    def test_duplicate_members_dedup_like_dict_reference(self):
+        # A community handed in as a list with repeated nodes must not skew
+        # |C| on any routing branch (dict delegate, scalar CSR, batched).
+        graph = random_graph(1, n=60, p=0.3)
+        nodes = list(graph.nodes())
+        for count in (5, 40):  # below and above the routing threshold
+            community = nodes[:count] + nodes[:3]
+            reference = community_tightness(graph, community)
+            csr = CSRGraph.from_graph(graph)
+            assert community_tightness_csr(csr, community) == reference
+            sourceless = CSRGraph(csr.indptr, csr.indices, nodes)
+            assert community_tightness_csr(sourceless, community) == reference
+
 
 class TestLouvainParity:
     @pytest.mark.parametrize("seed", SEEDS)

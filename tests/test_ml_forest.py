@@ -1,0 +1,290 @@
+"""Parity tests: the array-backed ML model layer must match the node backend.
+
+``backend="array"`` routes tree fitting through the vectorized split search
+(:func:`repro.ml.forest.best_split_array`) and all inference through the
+flattened :class:`TreeTensor` / :class:`ForestTensor` kernels.  Both backends
+execute the same float64 operations in the same order, so fitted splits,
+predictions, probabilities and the LoCEC-XGB leaf-value embedding must be
+**bit-identical** — this suite sweeps randomized regression targets, boosted
+multi-class problems, the Phase II community classifier and the direct
+Phase2Kernel CNN tensor path, plus the iterative-depth regression test.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.community_classifier import GBDTCommunityClassifier
+from repro.core.config import GBDTConfig, LoCECConfig
+from repro.core.division import LocalCommunity
+from repro.exceptions import ModelConfigError, NotFittedError
+from repro.ml.forest import ForestTensor, TreeTensor, resolve_ml_backend
+from repro.ml.gbdt import GradientBoostedClassifier
+from repro.ml.tree import (
+    GradientRegressionTree,
+    RegressionTreeConfig,
+    _node_depth,
+    _TreeNode,
+)
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def random_tree_problem(seed: int, n: int = 150, num_features: int = 5):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, num_features))
+    # Duplicate feature values exercise the cannot-split-between-equal mask.
+    X[:, 0] = np.round(X[:, 0] * 2.0) / 2.0
+    gradients = rng.normal(size=n)
+    hessians = np.abs(rng.normal(size=n)) + 0.05
+    return X, gradients, hessians
+
+
+def random_classification_problem(seed: int, n: int = 120, num_classes: int = 3):
+    rng = np.random.default_rng(seed + 100)
+    X = rng.normal(size=(n, 4))
+    y = rng.integers(0, num_classes, size=n)
+    return X, y
+
+
+def flatten_structure(node: _TreeNode) -> list[tuple]:
+    """Preorder (feature, threshold, value, leaf_id) tuples of a fitted tree."""
+    out: list[tuple] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        out.append((current.feature, current.threshold, current.value, current.leaf_id))
+        if current.feature is not None:
+            stack.append(current.right)
+            stack.append(current.left)
+    return out
+
+
+class TestBackendResolution:
+    def test_auto_resolves_to_array_with_numpy(self):
+        assert resolve_ml_backend("auto") == "array"
+        assert resolve_ml_backend("node") == "node"
+        assert resolve_ml_backend("array") == "array"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ModelConfigError):
+            resolve_ml_backend("tensor")
+        with pytest.raises(ModelConfigError):
+            GradientRegressionTree(backend="csr")
+        with pytest.raises(ModelConfigError):
+            GradientBoostedClassifier(backend="csr")
+
+    def test_gbdt_config_backend_validation(self):
+        with pytest.raises(ModelConfigError):
+            GBDTConfig(backend="dict").validate()
+        GBDTConfig(backend="node").validate()
+
+    def test_locec_config_ml_backend_validation(self):
+        with pytest.raises(ModelConfigError):
+            LoCECConfig(ml_backend="csr").validate()
+        LoCECConfig(ml_backend="array").validate()
+
+
+class TestTreeParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fitted_splits_bit_identical(self, seed):
+        X, gradients, hessians = random_tree_problem(seed)
+        config = RegressionTreeConfig(max_depth=4, min_samples_leaf=3)
+        node_tree = GradientRegressionTree(config, backend="node").fit(
+            X, gradients, hessians
+        )
+        array_tree = GradientRegressionTree(config, backend="array").fit(
+            X, gradients, hessians
+        )
+        assert flatten_structure(node_tree.root_) == flatten_structure(
+            array_tree.root_
+        )
+        assert node_tree.num_leaves_ == array_tree.num_leaves_
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_predict_apply_leaf_values_bit_identical(self, seed):
+        X, gradients, hessians = random_tree_problem(seed)
+        config = RegressionTreeConfig(max_depth=5)
+        node_tree = GradientRegressionTree(config, backend="node").fit(
+            X, gradients, hessians
+        )
+        array_tree = GradientRegressionTree(config, backend="array").fit(
+            X, gradients, hessians
+        )
+        fresh = np.random.default_rng(seed + 50).normal(size=(60, X.shape[1]))
+        for batch in (X, fresh, fresh[0]):
+            assert np.array_equal(node_tree.predict(batch), array_tree.predict(batch))
+            assert np.array_equal(node_tree.apply(batch), array_tree.apply(batch))
+            assert np.array_equal(
+                node_tree.leaf_values(batch), array_tree.leaf_values(batch)
+            )
+        assert node_tree.depth == array_tree.depth
+
+    def test_tensor_accessor_matches_node_walk(self):
+        X, gradients, hessians = random_tree_problem(9)
+        node_tree = GradientRegressionTree(backend="node").fit(X, gradients, hessians)
+        tensor = node_tree.tensor()  # lazily flattened on the node backend
+        assert isinstance(tensor, TreeTensor)
+        assert np.array_equal(tensor.predict(X), node_tree.predict(X))
+        assert tensor.depth() == _node_depth(node_tree.root_)
+
+    def test_single_leaf_tree(self):
+        X = np.ones((8, 2))
+        gradients = np.full(8, -1.0)
+        tree = GradientRegressionTree(backend="array").fit(X, gradients, np.ones(8))
+        assert tree.num_leaves_ == 1
+        assert np.array_equal(tree.apply(X), np.zeros(8, dtype=np.int64))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GradientRegressionTree(backend="array").predict(np.zeros((2, 2)))
+
+    def test_iterative_depth_survives_deep_chains(self):
+        # A 5000-deep left chain: the old recursive _node_depth blew the
+        # interpreter recursion limit (default 1000) on trees like this.
+        leaf = _TreeNode(depth=5000, leaf_id=0)
+        node = leaf
+        for depth in range(4999, -1, -1):
+            node = _TreeNode(
+                depth=depth,
+                feature=0,
+                threshold=0.0,
+                left=node,
+                right=_TreeNode(depth=depth + 1, leaf_id=1),
+            )
+        assert _node_depth(node) == 5000
+
+
+class TestForestParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_gbdt_outputs_bit_identical(self, seed):
+        X, y = random_classification_problem(seed)
+        kwargs = dict(num_rounds=8, max_depth=3, seed=seed)
+        node_model = GradientBoostedClassifier(backend="node", **kwargs).fit(X, y)
+        array_model = GradientBoostedClassifier(backend="array", **kwargs).fit(X, y)
+        assert node_model.train_loss_history_ == array_model.train_loss_history_
+        fresh = np.random.default_rng(seed + 200).normal(size=(40, X.shape[1]))
+        for batch in (X, fresh, fresh[0]):
+            assert np.array_equal(
+                node_model.decision_function(batch),
+                array_model.decision_function(batch),
+            )
+            assert np.array_equal(
+                node_model.predict_proba(batch), array_model.predict_proba(batch)
+            )
+            assert np.array_equal(
+                node_model.predict(batch), array_model.predict(batch)
+            )
+            assert np.array_equal(
+                node_model.leaf_values(batch), array_model.leaf_values(batch)
+            )
+            assert np.array_equal(
+                node_model.leaf_indices(batch), array_model.leaf_indices(batch)
+            )
+
+    def test_subsampled_fit_bit_identical(self):
+        X, y = random_classification_problem(11, n=200)
+        kwargs = dict(num_rounds=10, subsample=0.6, seed=7)
+        node_model = GradientBoostedClassifier(backend="node", **kwargs).fit(X, y)
+        array_model = GradientBoostedClassifier(backend="array", **kwargs).fit(X, y)
+        assert np.array_equal(
+            node_model.predict_proba(X), array_model.predict_proba(X)
+        )
+
+    def test_predict_raw_alias(self):
+        X, y = random_classification_problem(3)
+        model = GradientBoostedClassifier(num_rounds=3).fit(X, y)
+        assert np.array_equal(model.predict_raw(X), model.decision_function(X))
+
+    def test_forest_tensor_from_node_trees(self):
+        X, y = random_classification_problem(5)
+        node_model = GradientBoostedClassifier(num_rounds=4, backend="node").fit(X, y)
+        forest = ForestTensor.from_trees(
+            [tree for round_trees in node_model.trees_ for tree in round_trees]
+        )
+        assert forest.num_trees == node_model.num_trees
+        assert np.array_equal(
+            forest.leaf_values_matrix(X), node_model.leaf_values(X)
+        )
+        assert np.array_equal(
+            forest.leaf_indices_matrix(X), node_model.leaf_indices(X)
+        )
+
+    def test_array_backend_populates_forest(self):
+        X, y = random_classification_problem(6)
+        model = GradientBoostedClassifier(num_rounds=2, backend="array").fit(X, y)
+        assert model.forest_ is not None
+        assert model.forest_.num_trees == model.num_trees
+        node_model = GradientBoostedClassifier(num_rounds=2, backend="node").fit(X, y)
+        assert node_model.forest_ is None
+
+
+def random_stores_and_communities(seed: int):
+    """Random Phase II stores plus communities (mirrors test_phase2_csr)."""
+    from repro.graph.features import NodeFeatureStore
+    from repro.graph.interactions import InteractionStore
+
+    rng = random.Random(seed)
+    features = NodeFeatureStore(["f0", "f1", "f2"])
+    interactions = InteractionStore(num_dims=4)
+    num_nodes = 26
+    for node in range(num_nodes):
+        if rng.random() < 0.8:
+            features.set(node, [rng.randint(0, 5) + 0.5 for _ in range(3)])
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if rng.random() < 0.3:
+                interactions.record(u, v, rng.randrange(4), rng.randint(1, 9))
+    communities = []
+    for index in range(14):
+        size = rng.choice([1, 2, 4, 7, 10])
+        members = frozenset(rng.sample(range(num_nodes + 2), size))
+        tightness = {member: rng.random() for member in members}
+        communities.append(
+            LocalCommunity(ego=-index, members=members, tightness=tightness, index=0)
+        )
+    return features, interactions, communities
+
+
+class TestCommunityClassifierParity:
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_gbdt_community_classifier_bit_identical(self, seed):
+        from repro.core.aggregation import FeatureMatrixBuilder
+
+        features, interactions, communities = random_stores_and_communities(seed)
+        labels = [index % 3 for index in range(len(communities))]
+        results = {}
+        for ml_backend in ("node", "array"):
+            builder = FeatureMatrixBuilder(features, interactions, k=6)
+            classifier = GBDTCommunityClassifier(
+                builder, config=GBDTConfig(num_rounds=6, backend=ml_backend)
+            ).fit(communities, labels)
+            results[ml_backend] = (
+                classifier.predict_proba(communities),
+                classifier.result_vectors(communities),
+            )
+        assert np.array_equal(results["node"][0], results["array"][0])
+        # The Phase III leaf-value embedding r_C must match bit-for-bit too.
+        assert np.array_equal(results["node"][1], results["array"][1])
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_matrices_as_tensor_path_bit_identical(self, seed):
+        """Direct Phase2Kernel->CNN tensor path vs the dict reference."""
+        from repro.core.aggregation import FeatureMatrixBuilder
+
+        features, interactions, communities = random_stores_and_communities(seed)
+        for k in (3, 6, 20):  # truncation, the default, and heavy padding
+            dict_builder = FeatureMatrixBuilder(
+                features, interactions, k=k, backend="dict"
+            )
+            csr_builder = FeatureMatrixBuilder(
+                features, interactions, k=k, backend="csr"
+            )
+            assert np.array_equal(
+                dict_builder.matrices_as_tensor(communities),
+                csr_builder.matrices_as_tensor(communities),
+            )
+        assert csr_builder.matrices_as_tensor([]).shape == (0, 1, 20, 7)

@@ -52,11 +52,20 @@ def test_quick_report_schema(quick_report):
         "louvain_csr",
         "phase1_division_tiny_dict",
         "phase1_division_tiny_csr",
+        "commcnn_tensor_tiny_dict",
+        "commcnn_tensor_tiny_csr",
+        "gbdt_fit_tiny_node",
+        "gbdt_fit_tiny_array",
+        "forest_predict_tiny_node",
+        "forest_predict_tiny_array",
     ):
         assert expected in benchmarks
         assert benchmarks[expected]["ops_per_sec"] > 0
         assert benchmarks[expected]["seconds_per_op"] > 0
     assert "speedup_phase1_division_tiny" in report["derived"]
+    assert "speedup_gbdt_fit_tiny" in report["derived"]
+    assert "speedup_forest_predict_tiny" in report["derived"]
+    assert "speedup_commcnn_tensor_tiny" in report["derived"]
 
 
 def test_check_passes_against_itself(perf_report, quick_report):
@@ -94,3 +103,8 @@ def test_committed_baseline_is_valid_json():
     # The tentpole acceptance: CSR Phase I division is >= 5x the dict backend
     # at the small scale on the machine that produced the baseline.
     assert report["derived"]["speedup_phase1_division_small"] >= 5.0
+    # PR 3 acceptance: the stacked forest tensors run GBDT inference
+    # (predict_proba + the leaf-value embedding) >= 5x the node walks at the
+    # small scale on the machine that produced the baseline.
+    assert "forest_predict_small_array" in report["benchmarks"]
+    assert report["derived"]["speedup_forest_predict_small"] >= 5.0
