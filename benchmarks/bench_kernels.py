@@ -9,11 +9,15 @@ speed contest.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.community.betweenness import edge_betweenness
 from repro.core.aggregation import FeatureMatrixBuilder
+from repro.core.commcnn import build_commcnn_classifier
+from repro.core.config import CommCNNConfig
 from repro.core.division import divide
 from repro.graph.csr import CSRGraph, edge_betweenness_csr, ego_network_csr
 from repro.graph.ego import ego_network
@@ -165,3 +169,55 @@ def test_commcnn_tensor_csr(benchmark, bench_workload):
     csr_builder.matrices_as_tensor(communities[:1])  # compile outside timing
     tensor = run_once(benchmark, lambda: csr_builder.matrices_as_tensor(communities))
     assert np.array_equal(tensor, dict_builder.matrices_as_tensor(communities))
+
+
+def _commcnn_problem(bench_workload):
+    """CNN input tensor + deterministic labels for the CommCNN kernel pair."""
+    _, csr_builder, communities = _phase2_builders(bench_workload)
+    tensor = csr_builder.matrices_as_tensor(communities)
+    labels = np.arange(tensor.shape[0]) % 3
+    config = CommCNNConfig(epochs=4)
+    return tensor, labels, csr_builder.num_columns, config
+
+
+def _commcnn_fit(tensor, labels, num_columns, config, backend):
+    config = replace(config, nn_backend=backend)
+    clf = build_commcnn_classifier(20, num_columns, 3, config=config)
+    return clf.fit(tensor, labels)
+
+
+def test_commcnn_fit_loop(benchmark, bench_workload):
+    tensor, labels, num_columns, config = _commcnn_problem(bench_workload)
+    clf = run_once(
+        benchmark, lambda: _commcnn_fit(tensor, labels, num_columns, config, "loop")
+    )
+    assert clf.backend_used_ == "loop"
+
+
+def test_commcnn_fit_fused(benchmark, bench_workload):
+    tensor, labels, num_columns, config = _commcnn_problem(bench_workload)
+    clf = run_once(
+        benchmark, lambda: _commcnn_fit(tensor, labels, num_columns, config, "fused")
+    )
+    reference = _commcnn_fit(tensor, labels, num_columns, config, "loop")
+    assert clf.loss_history_ == reference.loss_history_
+    for (_, fused_param, _), (_, loop_param, _) in zip(
+        clf.model.parameters(), reference.model.parameters()
+    ):
+        assert np.array_equal(fused_param, loop_param)
+
+
+def test_commcnn_predict_loop(benchmark, bench_workload):
+    tensor, labels, num_columns, config = _commcnn_problem(bench_workload)
+    clf = _commcnn_fit(tensor, labels, num_columns, config, "loop")
+    proba = run_once(benchmark, lambda: clf.predict_proba(tensor))
+    assert proba.shape == (tensor.shape[0], 3)
+
+
+def test_commcnn_predict_fused(benchmark, bench_workload):
+    tensor, labels, num_columns, config = _commcnn_problem(bench_workload)
+    loop_clf = _commcnn_fit(tensor, labels, num_columns, config, "loop")
+    fused_clf = _commcnn_fit(tensor, labels, num_columns, config, "fused")
+    fused_clf.predict_proba(tensor)  # grow inference workspaces outside timing
+    proba = run_once(benchmark, lambda: fused_clf.predict_proba(tensor))
+    assert np.array_equal(proba, loop_clf.predict_proba(tensor))

@@ -86,14 +86,19 @@ def build_benchmarks(quick: bool) -> dict[str, Callable[[], object]]:
     its once-per-fit lifecycle).  The model layer gets the same treatment:
     ``gbdt_fit_{node,array}`` (boosted fit on the statistic vectors),
     ``forest_predict_{node,array}`` (probabilities + leaf-value embedding,
-    the LoCEC-XGB inference hot path) and ``commcnn_tensor_{dict,csr}``
-    (CNN input tensor emission, direct Phase2Kernel path on csr).
+    the LoCEC-XGB inference hot path), ``commcnn_tensor_{dict,csr}``
+    (CNN input tensor emission, direct Phase2Kernel path on csr) and
+    ``commcnn_{fit,predict}_{loop,fused}`` (CommCNN SGD training and batched
+    inference: layer-by-layer object graph vs the compiled tape engine of
+    ``repro.ml.nn.engine``; bit-identical outputs).
     """
     import numpy as np
 
     from repro.community.betweenness import edge_betweenness
     from repro.community.louvain import louvain_communities
     from repro.core.aggregation import FeatureMatrixBuilder
+    from repro.core.commcnn import build_commcnn_classifier
+    from repro.core.config import CommCNNConfig
     from repro.core.division import divide
     from repro.core.tightness import community_tightness
     from repro.graph.csr import (
@@ -207,6 +212,36 @@ def build_benchmarks(quick: bool) -> dict[str, Callable[[], object]]:
                 m.leaf_values(d),
             )
         )
+
+    # CommCNN execution-engine kernels: the Figure-8 network trained on the
+    # CNN input tensor of every division community (k=20 rows, |I|+|f|
+    # columns, 3 classes), layer-by-layer loop vs compiled fused tape.
+    # 4 epochs keeps the loop fit inside the benchmark budget while
+    # exercising ragged batches and every optimiser step.
+    cnn_builder = builders["csr"]
+    tensor = cnn_builder.matrices_as_tensor(
+        list(workloads[model_scale].division().all_communities())
+    )
+    cnn_labels = np.arange(tensor.shape[0]) % 3
+
+    def commcnn_fit(backend: str):
+        classifier = build_commcnn_classifier(
+            20,
+            cnn_builder.num_columns,
+            3,
+            config=CommCNNConfig(epochs=4, nn_backend=backend),
+        )
+        return classifier.fit(tensor, cnn_labels)
+
+    cnn_fitted = {backend: commcnn_fit(backend) for backend in ("loop", "fused")}
+    cnn_fitted["fused"].predict_proba(tensor)  # grow workspaces outside timing
+    for backend in ("loop", "fused"):
+        benchmarks[f"commcnn_fit_{model_scale}_{backend}"] = (
+            lambda be=backend: commcnn_fit(be)
+        )
+        benchmarks[f"commcnn_predict_{model_scale}_{backend}"] = (
+            lambda m=cnn_fitted[backend], t=tensor: m.predict_proba(t)
+        )
     return benchmarks
 
 
@@ -227,8 +262,9 @@ def run_suite(quick: bool, repeats: int) -> dict:
         "derived": {},
     }
     # Fast-backend vs reference-backend speedup pairs: csr/dict for the
-    # graph+aggregation kernels, array/node for the model-layer kernels.
-    for fast, reference in (("_csr", "_dict"), ("_array", "_node")):
+    # graph+aggregation kernels, array/node for the tree-model kernels,
+    # fused/loop for the NN execution engine.
+    for fast, reference in (("_csr", "_dict"), ("_array", "_node"), ("_fused", "_loop")):
         for name in list(results):
             if name.endswith(fast):
                 twin = name[: -len(fast)] + reference

@@ -19,7 +19,11 @@ aggregation kernels — outputs are bit-identical either way.  The GBDT model
 additionally honours :attr:`GBDTConfig.backend`
 (``"node"``/``"array"``/``"auto"``), selecting between pointer-based tree
 walks and the stacked forest tensors of :mod:`repro.ml.forest`; fitted
-models and leaf-value embeddings are likewise bit-identical.
+models and leaf-value embeddings are likewise bit-identical.  The CNN model
+honours :attr:`CommCNNConfig.nn_backend`
+(``"loop"``/``"fused"``/``"auto"``), selecting between layer-by-layer
+execution and the compiled tape engine of :mod:`repro.ml.nn.engine`; fitted
+weights, loss histories and probabilities are bit-identical as well.
 """
 
 from __future__ import annotations

@@ -22,6 +22,11 @@ class CommCNNConfig:
     learning_rate: float = 2e-3
     dropout: float = 0.1
     seed: int = 0
+    nn_backend: str = "auto"
+    """NN execution backend: ``"loop"`` walks the layer object graph,
+    ``"fused"`` runs the compiled tape engine (``repro.ml.nn.engine``), and
+    ``"auto"`` picks fused whenever the model compiles.  Logits, fitted
+    weights and loss histories are bit-identical across backends."""
 
     def validate(self) -> None:
         if self.num_filters < 1 or self.dense_units < 1:
@@ -30,6 +35,10 @@ class CommCNNConfig:
             raise ModelConfigError("epochs and batch_size must be positive")
         if not 0.0 <= self.dropout < 1.0:
             raise ModelConfigError("dropout must be in [0, 1)")
+        if self.nn_backend not in {"auto", "loop", "fused"}:
+            raise ModelConfigError(
+                f"nn_backend must be 'auto', 'loop' or 'fused', got {self.nn_backend!r}"
+            )
 
 
 @dataclass
@@ -80,6 +89,12 @@ class LoCECConfig:
         ``"array"``, or ``"node"`` (pointer-based reference walks).  Fitted
         models, probabilities and leaf-value embeddings are bit-identical
         either way.
+    nn_backend:
+        Execution backend for the CommCNN neural network: ``"auto"``
+        (default; the compiled tape engine of :mod:`repro.ml.nn.engine`),
+        ``"fused"``, or ``"loop"`` (layer-by-layer reference).  Logits,
+        fitted weights and loss histories are bit-identical either way.
+        A non-``"auto"`` value overrides ``cnn.nn_backend``.
     min_community_size:
         Communities smaller than this are still classified (the paper keeps
         singletons with tightness 1); the knob exists for ablations only.
@@ -94,6 +109,7 @@ class LoCECConfig:
     community_detector: str = "girvan_newman"
     backend: str = "auto"
     ml_backend: str = "auto"
+    nn_backend: str = "auto"
     min_community_size: int = 1
     edge_lr_iterations: int = 400
     edge_lr_learning_rate: float = 0.5
@@ -125,6 +141,10 @@ class LoCECConfig:
         if self.ml_backend not in {"auto", "node", "array"}:
             raise ModelConfigError(
                 f"ml_backend must be 'auto', 'node' or 'array', got {self.ml_backend!r}"
+            )
+        if self.nn_backend not in {"auto", "loop", "fused"}:
+            raise ModelConfigError(
+                f"nn_backend must be 'auto', 'loop' or 'fused', got {self.nn_backend!r}"
             )
         if self.min_community_size < 1:
             raise ModelConfigError("min_community_size must be >= 1")

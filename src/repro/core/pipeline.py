@@ -207,10 +207,16 @@ class LoCEC:
     def _build_community_classifier(self) -> CommunityClassifier:
         assert self.feature_builder_ is not None
         if self.config.community_model == "cnn":
+            # The pipeline-level nn_backend knob governs the CommCNN execution
+            # engine; a CommCNNConfig.nn_backend set directly still wins when
+            # the pipeline knob is left on "auto".
+            cnn_config = self.config.cnn
+            if self.config.nn_backend != "auto":
+                cnn_config = replace(cnn_config, nn_backend=self.config.nn_backend)
             return CNNCommunityClassifier(
                 self.feature_builder_,
                 num_classes=self._num_classes,
-                config=self.config.cnn,
+                config=cnn_config,
             )
         # The pipeline-level ml_backend knob governs the model layer; a
         # GBDTConfig.backend set directly still wins when the pipeline knob

@@ -67,6 +67,14 @@ class DimensionMismatchError(ReproError, ValueError):
     """Input arrays have inconsistent shapes."""
 
 
+class TrainingDivergedError(ModelConfigError):
+    """Training produced a non-finite loss (exploding gradients, bad inputs).
+
+    Raised instead of silently recording ``NaN``/``inf`` into a model's loss
+    history; the message names the epoch at which the divergence occurred.
+    """
+
+
 class PipelineError(ReproError):
     """Errors raised by the LoCEC pipeline orchestration."""
 

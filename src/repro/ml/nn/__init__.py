@@ -1,4 +1,27 @@
-"""From-scratch NumPy neural-network stack used to build CommCNN."""
+"""From-scratch NumPy neural-network stack used to build CommCNN.
+
+The stack executes on one of two backends, selected by the ``backend`` knob
+on :class:`NeuralNetworkClassifier` (``"loop"`` / ``"fused"`` / ``"auto"``):
+
+* **loop** — the layer-by-layer object graph in :mod:`repro.ml.nn.layers` /
+  :mod:`repro.ml.nn.network`: each layer's ``forward``/``backward`` allocates
+  its own tensors and the optimiser walks the ``(name, param, grad)`` list.
+  This is the readable reference implementation.
+* **fused** — the compiled execution engine in :mod:`repro.ml.nn.engine`:
+  the model is compiled once per fit into a flat tape of shape-specialised
+  array ops with precomputed im2col gather/scatter index plans, preallocated
+  activation/gradient workspaces reused across mini-batches, and all
+  parameters/gradients/optimiser moments packed into contiguous vectors so
+  an optimiser step is a handful of whole-vector ops.
+
+Both backends run the same float operations in the same order, so logits,
+fitted weights and loss histories are **bit-identical**
+(``tests/test_nn_engine.py`` arbitrates).  ``"auto"`` (the default) picks
+the fused engine whenever the model compiles — i.e. it is built from the
+layer types above, which every CommCNN is — and falls back to the loop
+backend when compilation raises :class:`~repro.ml.nn.engine.
+EngineCompileError` (custom layer types, unsupported shapes).
+"""
 
 from repro.ml.nn.layers import (
     Conv2D,
@@ -11,7 +34,13 @@ from repro.ml.nn.layers import (
     ReLU,
 )
 from repro.ml.nn.losses import SoftmaxCrossEntropy
-from repro.ml.nn.network import NeuralNetworkClassifier, ParallelConcat, Sequential
+from repro.ml.nn.engine import CompiledNetwork, EngineCompileError
+from repro.ml.nn.network import (
+    NN_BACKENDS,
+    NeuralNetworkClassifier,
+    ParallelConcat,
+    Sequential,
+)
 from repro.ml.nn.optimizers import SGD, Adam, Optimizer
 
 __all__ = [
@@ -27,6 +56,9 @@ __all__ = [
     "Sequential",
     "ParallelConcat",
     "NeuralNetworkClassifier",
+    "CompiledNetwork",
+    "EngineCompileError",
+    "NN_BACKENDS",
     "Optimizer",
     "SGD",
     "Adam",

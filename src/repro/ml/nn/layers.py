@@ -33,8 +33,83 @@ class Layer:
         """``(name, parameter, gradient)`` triples; default is parameter-free."""
         return []
 
+    def clear_caches(self) -> None:
+        """Drop tensors cached by ``forward(training=True)`` for the backward pass.
+
+        Training caches pin the last batch's activations; containers recurse
+        so :meth:`NeuralNetworkClassifier.fit` can release them after the
+        final epoch.  Parameter-free stateless layers have nothing to clear.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return type(self).__name__
+
+
+# ------------------------------------------------------------- GEMM primitives
+# Shared by the layer-by-layer "loop" backend below and the compiled "fused"
+# engine (repro.ml.nn.engine).  Both backends must perform the *same* float
+# ops in the same order so their outputs stay bit-identical; in particular
+# np.einsum and BLAS matmul round differently, so every contraction goes
+# through exactly one of these helpers.
+
+
+def conv_forward_gemm(
+    weight_matrix: np.ndarray,
+    cols: np.ndarray,
+    bias: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """``(F, K) @ (N, K, P) + bias`` → ``(N, F, P)`` via batched 2-D GEMM."""
+    out = np.matmul(weight_matrix, cols, out=out)
+    out += bias[None, :, None]
+    return out
+
+
+def conv_grad_weight(
+    grad_flat: np.ndarray,
+    cols: np.ndarray,
+    out: np.ndarray | None = None,
+    work: np.ndarray | None = None,
+) -> np.ndarray:
+    """Weight gradient ``sum_n grad[n] @ cols[n].T`` via batched 2-D GEMM.
+
+    ``(N, F, P) x (N, K, P)`` → ``(F, K)``.  The batched-matmul-then-reduce
+    form beats one big transposed GEMM here because it needs no layout
+    copies.  ``work`` is an optional ``(N, F, K)`` scratch buffer and ``out``
+    the optional ``(F, K)`` destination (used by the fused engine to avoid
+    per-batch allocation; results are bit-identical either way).
+    """
+    per_sample = np.matmul(grad_flat, cols.transpose(0, 2, 1), out=work)
+    return per_sample.sum(axis=0, out=out)
+
+
+def conv_grad_cols(
+    weight_matrix: np.ndarray,
+    grad_flat: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Column gradient ``(K, F) @ (N, F, P)`` → ``(N, K, P)`` via batched GEMM."""
+    return np.matmul(weight_matrix.T, grad_flat, out=out)
+
+
+def conv_im2col_indices(
+    channels: int, height: int, width: int, kernel_h: int, kernel_w: int
+) -> np.ndarray:
+    """Gather-index plan mapping flat ``(C*H*W)`` input to im2col columns.
+
+    Returns an ``(C*kh*kw, out_h*out_w)`` integer matrix ``idx`` such that
+    ``x.reshape(n, -1)[:, idx]`` equals :func:`_im2col` applied to ``x``
+    (stride 1, no padding).  Row order matches ``_im2col``'s layout:
+    ``k = (row*kw + col)*C + c``.
+    """
+    out_h = height - kernel_h + 1
+    out_w = width - kernel_w + 1
+    offsets = np.arange(kernel_h)[:, None] * width + np.arange(kernel_w)[None, :]
+    positions = np.arange(out_h)[:, None] * width + np.arange(out_w)[None, :]
+    channel_base = np.arange(channels) * (height * width)
+    # (kh*kw, C) block layout -> k index = (row*kw+col)*C + c.
+    rows = (offsets.reshape(-1, 1) + channel_base[None, :]).reshape(-1, 1)
+    return rows + positions.reshape(1, -1)
 
 
 # --------------------------------------------------------------------- im2col
@@ -134,7 +209,7 @@ class Conv2D(Layer):
             )
         cols = _im2col(x, self.kernel_h, self.kernel_w)
         weight_matrix = self.weight.reshape(self.out_channels, -1)
-        out = np.einsum("fk,nkp->nfp", weight_matrix, cols) + self.bias[None, :, None]
+        out = conv_forward_gemm(weight_matrix, cols, self.bias)
         out_h = height - self.kernel_h + 1
         out_w = width - self.kernel_w + 1
         if training:
@@ -149,11 +224,11 @@ class Conv2D(Layer):
         grad_flat = grad_output.reshape(n, self.out_channels, -1)
         weight_matrix = self.weight.reshape(self.out_channels, -1)
 
-        self.grad_weight[...] = np.einsum("nfp,nkp->fk", grad_flat, cols).reshape(
+        self.grad_weight[...] = conv_grad_weight(grad_flat, cols).reshape(
             self.weight.shape
         )
         self.grad_bias[...] = grad_flat.sum(axis=(0, 2))
-        grad_cols = np.einsum("fk,nfp->nkp", weight_matrix, grad_flat)
+        grad_cols = conv_grad_cols(weight_matrix, grad_flat)
         return _col2im(grad_cols, x_shape, self.kernel_h, self.kernel_w)
 
     def parameters(self) -> list[tuple[str, np.ndarray, np.ndarray]]:
@@ -161,6 +236,9 @@ class Conv2D(Layer):
             ("weight", self.weight, self.grad_weight),
             ("bias", self.bias, self.grad_bias),
         ]
+
+    def clear_caches(self) -> None:
+        self._cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -185,6 +263,24 @@ class ReLU(Layer):
         assert self._mask is not None
         return grad_output * self._mask
 
+    def clear_caches(self) -> None:
+        self._mask = None
+
+
+def maxpool_window_argmax(windows: np.ndarray) -> np.ndarray:
+    """First-max flat argmax per pooling window.
+
+    ``windows`` has shape ``(N, C, out_h, pool_h, out_w, pool_w)``; the result
+    is the ``(N, C, out_h, out_w)`` index of the first maximal element in each
+    window's row-major ``(pool_h, pool_w)`` order.  Shared with the fused
+    engine so both backends route gradients to the same element on ties.
+    """
+    n, channels, out_h, pool_h, out_w, pool_w = windows.shape
+    per_window = windows.transpose(0, 1, 2, 4, 3, 5).reshape(
+        n, channels, out_h, out_w, pool_h * pool_w
+    )
+    return per_window.argmax(axis=-1)
+
 
 class MaxPool2D(Layer):
     """Max pooling with pool size equal to stride (non-overlapping windows).
@@ -193,6 +289,10 @@ class MaxPool2D(Layer):
     (floor), matching common framework behaviour.  Pool windows are clamped so
     a dimension smaller than the pool size degenerates to size-1 pooling on
     that axis, which keeps tiny CommCNN feature maps usable.
+
+    The training cache stores only the per-window flat argmax (first maximal
+    element, ties broken towards row-major order) instead of a full boolean
+    window mask; the backward pass scatters the gradient to those indices.
     """
 
     def __init__(self, pool_size: tuple[int, int] = (2, 2)) -> None:
@@ -201,7 +301,7 @@ class MaxPool2D(Layer):
             raise ModelConfigError("pool dimensions must be positive")
         self.pool_h = pool_h
         self.pool_w = pool_w
-        self._cache: tuple[np.ndarray, int, int, np.ndarray] | None = None
+        self._cache: tuple[np.ndarray, int, int, tuple[int, ...]] | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 4:
@@ -215,33 +315,29 @@ class MaxPool2D(Layer):
         windows = trimmed.reshape(n, channels, out_h, pool_h, out_w, pool_w)
         out = windows.max(axis=(3, 5))
         if training:
-            mask = windows == out[:, :, :, None, :, None]
-            # Break ties: keep only the first maximal element per window.
-            flat = mask.reshape(n, channels, out_h, out_w, pool_h * pool_w)
-            first = np.zeros_like(flat)
-            first[
-                np.arange(n)[:, None, None, None],
-                np.arange(channels)[None, :, None, None],
-                np.arange(out_h)[None, None, :, None],
-                np.arange(out_w)[None, None, None, :],
-                flat.argmax(axis=-1),
-            ] = True
-            mask = first.reshape(windows.shape)
-            self._cache = (mask, pool_h, pool_w, np.array(x.shape))
+            arg = maxpool_window_argmax(windows)
+            self._cache = (arg, pool_h, pool_w, x.shape)
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         assert self._cache is not None
-        mask, pool_h, pool_w, x_shape = self._cache
+        arg, pool_h, pool_w, x_shape = self._cache
         n, channels, height, width = x_shape
         out_h = height // pool_h
         out_w = width // pool_w
-        expanded = mask * grad_output[:, :, :, None, :, None]
+        rows = np.arange(out_h)[None, None, :, None] * pool_h + arg // pool_w
+        columns = np.arange(out_w)[None, None, None, :] * pool_w + arg % pool_w
         dx = np.zeros((n, channels, height, width), dtype=grad_output.dtype)
-        dx[:, :, : out_h * pool_h, : out_w * pool_w] = expanded.reshape(
-            n, channels, out_h * pool_h, out_w * pool_w
-        )
+        dx[
+            np.arange(n)[:, None, None, None],
+            np.arange(channels)[None, :, None, None],
+            rows,
+            columns,
+        ] = grad_output
         return dx
+
+    def clear_caches(self) -> None:
+        self._cache = None
 
 
 class GlobalMaxPool2D(Layer):
@@ -271,6 +367,9 @@ class GlobalMaxPool2D(Layer):
         dx[np.arange(n)[:, None], np.arange(channels)[None, :], arg] = grad_output
         return dx.reshape(x_shape)
 
+    def clear_caches(self) -> None:
+        self._cache = None
+
 
 class Flatten(Layer):
     """Flatten ``(N, ...)`` into ``(N, D)``."""
@@ -286,6 +385,9 @@ class Flatten(Layer):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         assert self._input_shape is not None
         return grad_output.reshape(self._input_shape)
+
+    def clear_caches(self) -> None:
+        self._input_shape = None
 
 
 class Dense(Layer):
@@ -324,6 +426,9 @@ class Dense(Layer):
             ("bias", self.bias, self.grad_bias),
         ]
 
+    def clear_caches(self) -> None:
+        self._input = None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Dense({self.weight.shape[0]}->{self.weight.shape[1]})"
 
@@ -349,3 +454,6 @@ class Dropout(Layer):
         if self._mask is None:
             return grad_output
         return grad_output * self._mask
+
+    def clear_caches(self) -> None:
+        self._mask = None

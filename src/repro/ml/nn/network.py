@@ -7,17 +7,27 @@ outputs are flattened, concatenated and passed to fully connected layers.
 branch-and-concatenate pattern, and :class:`NeuralNetworkClassifier` wraps a
 model with the softmax-cross-entropy loss, mini-batch Adam training and the
 common ``fit`` / ``predict_proba`` / ``predict`` protocol.
+
+The classifier executes on one of two backends (``backend="loop"|"fused"|
+"auto"``): the layer-by-layer object graph defined here, or the compiled
+tape of :mod:`repro.ml.nn.engine`.  Both run the same float operations in
+the same order, so logits, fitted weights and loss histories are
+bit-identical; ``"auto"`` picks the fused engine whenever the model compiles
+(every CommCNN does) and falls back to the loop otherwise.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ModelConfigError
+from repro.exceptions import ModelConfigError, TrainingDivergedError
 from repro.ml.base import check_fitted
 from repro.ml.nn.layers import Layer
 from repro.ml.nn.losses import SoftmaxCrossEntropy
 from repro.ml.nn.optimizers import Adam, Optimizer
+
+#: Valid values of the ``backend`` knob on :class:`NeuralNetworkClassifier`.
+NN_BACKENDS = ("auto", "loop", "fused")
 
 
 class Sequential(Layer):
@@ -44,6 +54,10 @@ class Sequential(Layer):
             for name, param, grad in layer.parameters():
                 collected.append((f"layer{index}.{name}", param, grad))
         return collected
+
+    def clear_caches(self) -> None:
+        for layer in self.layers:
+            layer.clear_caches()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         inner = ", ".join(repr(layer) for layer in self.layers)
@@ -92,6 +106,11 @@ class ParallelConcat(Layer):
                 collected.append((f"branch{index}.{name}", param, grad))
         return collected
 
+    def clear_caches(self) -> None:
+        self._split_sizes = None
+        for branch in self.branches:
+            branch.clear_caches()
+
 
 class NeuralNetworkClassifier:
     """Trainable classifier around a network emitting class logits.
@@ -109,6 +128,13 @@ class NeuralNetworkClassifier:
         Seed controlling the shuffling of mini-batches.
     optimizer:
         Optional custom optimiser instance; default is Adam.
+    backend:
+        Execution backend: ``"loop"`` walks the layer object graph,
+        ``"fused"`` compiles the model into the flat tape of
+        :mod:`repro.ml.nn.engine` (bit-identical, several times faster on
+        CommCNN-sized models), ``"auto"`` (default) tries the fused engine
+        and falls back to the loop when the model contains a layer the
+        engine cannot compile.
     """
 
     def __init__(
@@ -120,11 +146,16 @@ class NeuralNetworkClassifier:
         learning_rate: float = 1e-3,
         seed: int = 0,
         optimizer: Optimizer | None = None,
+        backend: str = "auto",
     ) -> None:
         if num_classes < 2:
             raise ModelConfigError("need at least two classes")
         if epochs < 1 or batch_size < 1:
             raise ModelConfigError("epochs and batch_size must be positive")
+        if backend not in NN_BACKENDS:
+            raise ModelConfigError(
+                f"backend must be one of {NN_BACKENDS}, got {backend!r}"
+            )
         self.model = model
         self.num_classes = num_classes
         self.epochs = epochs
@@ -132,7 +163,23 @@ class NeuralNetworkClassifier:
         self.seed = seed
         self.optimizer = optimizer or Adam(learning_rate=learning_rate)
         self.loss = SoftmaxCrossEntropy()
+        self.backend = backend
         self.loss_history_: list[float] | None = None
+        self.backend_used_: str | None = None
+        self._engine = None
+
+    def _compile_engine(self, input_shape: tuple[int, ...]):
+        """Engine for ``input_shape`` per the backend knob (None → loop)."""
+        if self.backend == "loop":
+            return None
+        from repro.ml.nn.engine import CompiledNetwork, EngineCompileError
+
+        try:
+            return CompiledNetwork(self.model, input_shape, self.num_classes)
+        except EngineCompileError:
+            if self.backend == "fused":
+                raise
+            return None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "NeuralNetworkClassifier":
         """Train on ``X`` (any shape with leading sample axis) and labels ``y``."""
@@ -142,11 +189,39 @@ class NeuralNetworkClassifier:
             raise ModelConfigError(
                 f"X and y disagree on sample count: {X.shape[0]} vs {y.shape[0]}"
             )
+        # Reset fitted state up front: a fit that raises (e.g.
+        # TrainingDivergedError) must leave the classifier reporting
+        # not-fitted rather than serving a half-trained model.
+        self.loss_history_ = None
+        self.backend_used_ = None
+        self._engine = None
+
+        engine = self._compile_engine(X.shape[1:])
+        if engine is not None:
+            history = engine.train(
+                X,
+                y,
+                epochs=self.epochs,
+                batch_size=self.batch_size,
+                seed=self.seed,
+                optimizer=self.optimizer,
+                loss=self.loss,
+            )
+            self._engine = engine
+            self.backend_used_ = "fused"
+        else:
+            history = self._fit_loop(X, y)
+            self.backend_used_ = "loop"
+        self.loss_history_ = history
+        self.model.clear_caches()
+        return self
+
+    def _fit_loop(self, X: np.ndarray, y: np.ndarray) -> list[float]:
+        """Layer-by-layer reference training loop."""
         n_samples = X.shape[0]
         rng = np.random.default_rng(self.seed)
-        self.loss_history_ = []
-
-        for _ in range(self.epochs):
+        history: list[float] = []
+        for epoch in range(self.epochs):
             order = rng.permutation(n_samples)
             epoch_loss = 0.0
             num_batches = 0
@@ -159,19 +234,28 @@ class NeuralNetworkClassifier:
                         f"expected {self.num_classes}"
                     )
                 batch_loss = self.loss.forward(logits, y[batch_idx])
+                if not np.isfinite(batch_loss):
+                    raise TrainingDivergedError(
+                        f"non-finite batch loss ({batch_loss}) in epoch "
+                        f"{epoch + 1} of {self.epochs}; lower the learning "
+                        "rate or check the inputs for non-finite values"
+                    )
                 grad = self.loss.backward()
                 self.model.backward(grad)
                 self.optimizer.step(self.model.parameters())
                 epoch_loss += batch_loss
                 num_batches += 1
-            self.loss_history_.append(epoch_loss / max(num_batches, 1))
-        return self
+            history.append(epoch_loss / max(num_batches, 1))
+        return history
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Class-probability matrix of shape ``(n_samples, num_classes)``."""
         check_fitted(self, "loss_history_")
         X = np.asarray(X, dtype=np.float64)
-        logits = self.model.forward(X, training=False)
+        if self._engine is not None:
+            logits = self._engine.forward(X)
+        else:
+            logits = self.model.forward(X, training=False)
         return SoftmaxCrossEntropy.probabilities(logits)
 
     def predict(self, X: np.ndarray) -> np.ndarray:

@@ -1,4 +1,17 @@
-"""Optimisers for the NumPy neural-network stack (SGD with momentum, Adam)."""
+"""Optimisers for the NumPy neural-network stack (SGD with momentum, Adam).
+
+Optimiser state (momentum velocities, Adam moments, timesteps) is keyed by
+the *parameter name* handed to :meth:`Optimizer.step`, not by ``id(param)``:
+an array id can be recycled by the allocator after a parameter is garbage
+collected, which would silently splice stale state onto a fresh parameter.
+Names are stable for the lifetime of a model (``Sequential`` and
+``ParallelConcat`` prefix them with the layer/branch position), so they make
+a collision-free key as long as each named parameter appears at most once
+per ``step`` call.  The flip side: do not share one optimiser instance
+across *different* models — their parameter names coincide
+(``layer0.weight``, ...), so the second model would inherit the first
+model's moments and timesteps.  Use one optimiser per model.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +21,7 @@ from repro.exceptions import ModelConfigError
 
 
 class Optimizer:
-    """Base optimiser: updates parameters in place given (param, grad) pairs."""
+    """Base optimiser: updates parameters in place given (name, param, grad) triples."""
 
     def step(self, parameters: list[tuple[str, np.ndarray, np.ndarray]]) -> None:
         raise NotImplementedError
@@ -24,13 +37,14 @@ class SGD(Optimizer):
             raise ModelConfigError("momentum must be in [0, 1)")
         self.learning_rate = learning_rate
         self.momentum = momentum
-        self._velocity: dict[int, np.ndarray] = {}
+        self._velocity: dict[str, np.ndarray] = {}
 
     def step(self, parameters: list[tuple[str, np.ndarray, np.ndarray]]) -> None:
-        for _, param, grad in parameters:
-            key = id(param)
+        for name, param, grad in parameters:
             if self.momentum > 0.0:
-                velocity = self._velocity.setdefault(key, np.zeros_like(param))
+                velocity = self._velocity.get(name)
+                if velocity is None:
+                    velocity = self._velocity[name] = np.zeros_like(param)
                 velocity *= self.momentum
                 velocity -= self.learning_rate * grad
                 param += velocity
@@ -56,17 +70,20 @@ class Adam(Optimizer):
         self.beta1 = beta1
         self.beta2 = beta2
         self.epsilon = epsilon
-        self._first_moment: dict[int, np.ndarray] = {}
-        self._second_moment: dict[int, np.ndarray] = {}
-        self._step_count: dict[int, int] = {}
+        self._first_moment: dict[str, np.ndarray] = {}
+        self._second_moment: dict[str, np.ndarray] = {}
+        self._step_count: dict[str, int] = {}
 
     def step(self, parameters: list[tuple[str, np.ndarray, np.ndarray]]) -> None:
-        for _, param, grad in parameters:
-            key = id(param)
-            m = self._first_moment.setdefault(key, np.zeros_like(param))
-            v = self._second_moment.setdefault(key, np.zeros_like(param))
-            t = self._step_count.get(key, 0) + 1
-            self._step_count[key] = t
+        for name, param, grad in parameters:
+            m = self._first_moment.get(name)
+            if m is None:
+                m = self._first_moment[name] = np.zeros_like(param)
+            v = self._second_moment.get(name)
+            if v is None:
+                v = self._second_moment[name] = np.zeros_like(param)
+            t = self._step_count.get(name, 0) + 1
+            self._step_count[name] = t
 
             m *= self.beta1
             m += (1.0 - self.beta1) * grad

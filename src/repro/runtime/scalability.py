@@ -33,12 +33,12 @@ from repro.synthetic.network import SocialNetworkDataset
 class MeasuredPhaseTimes:
     """Wall-clock seconds of a real (local) run of the three phases.
 
-    The three model-kernel timings (GBDT fit, batched forest inference, CNN
-    tensor emission) are zero unless :func:`measure_phases` ran with
-    ``include_model_kernels=True``; they time the Phase II/III model layer
-    on the selected ``ml_backend`` and are excluded from
-    :attr:`total_seconds`, which keeps the cost-model calibration a pure
-    per-item phase cost as before.
+    The model-kernel timings (GBDT fit, batched forest inference, CNN tensor
+    emission, CommCNN fit/predict) are zero unless :func:`measure_phases`
+    ran with ``include_model_kernels=True``; they time the Phase II/III
+    model layer on the selected ``ml_backend`` / ``nn_backend`` and are
+    excluded from :attr:`total_seconds`, which keeps the cost-model
+    calibration a pure per-item phase cost as before.
     """
 
     num_nodes: int
@@ -50,6 +50,8 @@ class MeasuredPhaseTimes:
     gbdt_fit_seconds: float = 0.0
     forest_predict_seconds: float = 0.0
     commcnn_tensor_seconds: float = 0.0
+    commcnn_fit_seconds: float = 0.0
+    commcnn_predict_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -75,20 +77,25 @@ def measure_phases(
     max_egos: int | None = None,
     backend: str = "auto",
     ml_backend: str = "auto",
+    nn_backend: str = "auto",
     include_model_kernels: bool = False,
     gbdt_rounds: int = 10,
+    cnn_epochs: int = 2,
 ) -> MeasuredPhaseTimes:
     """Time the three LoCEC phases on a real (synthetic) dataset.
 
     ``max_egos`` limits Phase I to a node sample so the measurement fits in a
     benchmark budget; per-item costs are unaffected because all phases are
     per-item computations.  ``backend`` selects the kernel layer for Phases I
-    and II (``"auto"``/``"csr"``/``"dict"``) and ``ml_backend`` the model
-    layer (``"auto"``/``"array"``/``"node"``), mirroring ``LoCECConfig``.
-    With ``include_model_kernels=True`` the model-layer kernels are timed
-    too: ``gbdt_fit`` (a ``gbdt_rounds``-round boosted fit on the statistic
-    vectors), ``forest_predict`` (probabilities + the leaf-value embedding)
-    and ``commcnn_tensor`` (CNN input tensor emission).
+    and II (``"auto"``/``"csr"``/``"dict"``), ``ml_backend`` the tree-model
+    layer (``"auto"``/``"array"``/``"node"``) and ``nn_backend`` the CommCNN
+    execution engine (``"auto"``/``"fused"``/``"loop"``), mirroring
+    ``LoCECConfig``.  With ``include_model_kernels=True`` the model-layer
+    kernels are timed too: ``gbdt_fit`` (a ``gbdt_rounds``-round boosted fit
+    on the statistic vectors), ``forest_predict`` (probabilities + the
+    leaf-value embedding), ``commcnn_tensor`` (CNN input tensor emission),
+    ``commcnn_fit`` (a ``cnn_epochs``-epoch CommCNN fit on that tensor) and
+    ``commcnn_predict`` (CommCNN probabilities for every community).
     """
     egos = list(dataset.graph.nodes())
     if max_egos is not None:
@@ -112,7 +119,12 @@ def measure_phases(
     phase2_seconds = time.perf_counter() - start
 
     gbdt_fit_seconds = forest_predict_seconds = commcnn_tensor_seconds = 0.0
+    commcnn_fit_seconds = commcnn_predict_seconds = 0.0
     if include_model_kernels and communities:
+        import numpy as np
+
+        from repro.core.commcnn import build_commcnn_classifier
+        from repro.core.config import CommCNNConfig
         from repro.ml.gbdt import GradientBoostedClassifier
 
         design = builder.statistic_vectors(communities)
@@ -131,8 +143,21 @@ def measure_phases(
         forest_predict_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        builder.matrices_as_tensor(communities)
+        tensor = builder.matrices_as_tensor(communities)
         commcnn_tensor_seconds = time.perf_counter() - start
+
+        cnn_config = CommCNNConfig(epochs=cnn_epochs, nn_backend=nn_backend)
+        cnn = build_commcnn_classifier(
+            k=k, num_columns=builder.num_columns, num_classes=3, config=cnn_config
+        )
+        cnn_labels = np.asarray(labels, dtype=np.int64)
+        start = time.perf_counter()
+        cnn.fit(tensor, cnn_labels)
+        commcnn_fit_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cnn.predict_proba(tensor)
+        commcnn_predict_seconds = time.perf_counter() - start
 
     # Phase III per-edge work: Equation 4 assembly is two dictionary lookups
     # plus a concatenation; time it over the edges incident to the processed egos.
@@ -158,6 +183,8 @@ def measure_phases(
         gbdt_fit_seconds=gbdt_fit_seconds,
         forest_predict_seconds=forest_predict_seconds,
         commcnn_tensor_seconds=commcnn_tensor_seconds,
+        commcnn_fit_seconds=commcnn_fit_seconds,
+        commcnn_predict_seconds=commcnn_predict_seconds,
     )
 
 

@@ -5,7 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import DimensionMismatchError, ModelConfigError
+from repro.exceptions import (
+    DimensionMismatchError,
+    ModelConfigError,
+    TrainingDivergedError,
+)
 from repro.ml.nn import (
     Adam,
     Conv2D,
@@ -227,6 +231,31 @@ class TestLossAndOptimizers:
         SGD(learning_rate=0.1).step([("w", param, grad)])
         np.testing.assert_allclose(param, [0.95, 1.05])
 
+    def test_optimizer_state_keyed_by_name_not_id(self):
+        """State must follow the parameter *name*, not the array's id().
+
+        A recycled ``id()`` (array garbage-collected, address reused) used to
+        splice stale momentum onto an unrelated parameter; a stable name key
+        also keeps state attached when a parameter array is swapped out.
+        """
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        param = np.array([0.0])
+        grad = np.array([1.0])
+        optimizer.step([("w", param, grad)])
+        assert set(optimizer._velocity) == {"w"}
+        # A replacement array under the same name continues the velocity.
+        replacement = np.array([0.0])
+        optimizer.step([("w", replacement, grad)])
+        assert replacement[0] == pytest.approx(-0.19)
+
+    def test_adam_per_name_timesteps(self):
+        optimizer = Adam(learning_rate=0.1)
+        first = np.array([1.0])
+        second = np.array([1.0])
+        optimizer.step([("a", first, np.array([0.5]))])
+        optimizer.step([("a", first, np.array([0.5])), ("b", second, np.array([0.5]))])
+        assert optimizer._step_count == {"a": 2, "b": 1}
+
     def test_sgd_momentum_accumulates(self):
         param = np.array([0.0])
         grad = np.array([1.0])
@@ -302,3 +331,62 @@ class TestModelContainers:
         model = Sequential([Dense(3, 4), Dense(4, 2)])
         clf = NeuralNetworkClassifier(model, num_classes=2)
         assert clf.num_parameters() == (3 * 4 + 4) + (4 * 2 + 2)
+
+    @pytest.mark.parametrize("backend", ["loop", "fused"])
+    def test_fit_is_deterministic(self, rng, backend):
+        """Two fits with the same seed produce identical weights and losses."""
+        X = rng.normal(size=(60, 5))
+        y = (X[:, 0] > 0).astype(int)
+        runs = []
+        for _ in range(2):
+            model = Sequential(
+                [Dense(5, 8, seed=0), ReLU(), Dropout(0.3, seed=7), Dense(8, 2, seed=1)]
+            )
+            clf = NeuralNetworkClassifier(
+                model, num_classes=2, epochs=4, batch_size=16, seed=3, backend=backend
+            )
+            clf.fit(X, y)
+            runs.append(clf)
+        assert runs[0].loss_history_ == runs[1].loss_history_
+        for (_, first, _), (_, second, _) in zip(
+            runs[0].model.parameters(), runs[1].model.parameters()
+        ):
+            assert np.array_equal(first, second)
+
+    @pytest.mark.parametrize("backend", ["loop", "fused"])
+    def test_non_finite_loss_raises_naming_epoch(self, backend):
+        X = np.full((8, 3), np.nan)
+        y = np.zeros(8, dtype=np.int64)
+        model = Sequential([Dense(3, 4, seed=0), ReLU(), Dense(4, 2, seed=1)])
+        clf = NeuralNetworkClassifier(model, num_classes=2, epochs=3, backend=backend)
+        with pytest.raises(TrainingDivergedError, match="epoch 1"):
+            clf.fit(X, y)
+        # A diverged fit must leave the classifier reporting not-fitted
+        # instead of serving predictions from a half-trained model.
+        assert clf.loss_history_ is None
+        from repro.exceptions import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            clf.predict_proba(np.zeros((2, 3)))
+
+    def test_fit_clears_training_caches(self, rng):
+        """Layer caches must not pin the last batch's tensors after fit."""
+        conv = Conv2D(1, 2, (2, 2), seed=0)
+        relu = ReLU()
+        pool = MaxPool2D((2, 2))
+        glob = GlobalMaxPool2D()
+        flat = Flatten()
+        drop = Dropout(0.4, seed=1)
+        dense = Dense(2, 2, seed=2)
+        model = Sequential([conv, relu, pool, glob, flat, drop, dense])
+        clf = NeuralNetworkClassifier(
+            model, num_classes=2, epochs=1, backend="loop"
+        )
+        clf.fit(rng.normal(size=(12, 1, 6, 5)), rng.integers(0, 2, size=12))
+        assert conv._cache is None
+        assert relu._mask is None
+        assert pool._cache is None
+        assert glob._cache is None
+        assert flat._input_shape is None
+        assert drop._mask is None
+        assert dense._input is None

@@ -1,0 +1,288 @@
+"""Parity suite: the fused NN engine must be bit-identical to the loop backend.
+
+Every test fits (or runs) the same model twice — once layer-by-layer
+(``backend="loop"``), once on the compiled tape (``backend="fused"``) — and
+asserts exact equality (``np.array_equal``, no tolerances) of logits, fitted
+weights, gradients and loss histories.  Randomized CommCNN configurations
+cover all three branch toggles, ragged last batches, dropout on/off and both
+optimisers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.commcnn import build_commcnn_classifier
+from repro.core.config import CommCNNConfig
+from repro.exceptions import ModelConfigError
+from repro.ml.nn import (
+    SGD,
+    Adam,
+    CompiledNetwork,
+    Conv2D,
+    Dense,
+    EngineCompileError,
+    Flatten,
+    Layer,
+    NeuralNetworkClassifier,
+    ReLU,
+    Sequential,
+)
+
+
+def _fit_pair(
+    k: int,
+    num_columns: int,
+    num_classes: int,
+    X: np.ndarray,
+    y: np.ndarray,
+    config: CommCNNConfig,
+    optimizer_factory=None,
+    **branch_toggles: bool,
+) -> tuple[NeuralNetworkClassifier, NeuralNetworkClassifier]:
+    """Fit two identically-configured CommCNNs, one per backend."""
+    fitted = []
+    for backend in ("loop", "fused"):
+        clf = build_commcnn_classifier(
+            k,
+            num_columns,
+            num_classes,
+            config=replace(config, nn_backend=backend),
+            **branch_toggles,
+        )
+        if optimizer_factory is not None:
+            clf.optimizer = optimizer_factory()
+        clf.fit(X, y)
+        assert clf.backend_used_ == backend
+        fitted.append(clf)
+    return fitted[0], fitted[1]
+
+
+def _assert_identical(loop_clf, fused_clf, X) -> None:
+    assert loop_clf.loss_history_ == fused_clf.loss_history_
+    loop_params = loop_clf.model.parameters()
+    fused_params = fused_clf.model.parameters()
+    assert [name for name, _, _ in loop_params] == [
+        name for name, _, _ in fused_params
+    ]
+    for (name, param_l, grad_l), (_, param_f, grad_f) in zip(loop_params, fused_params):
+        assert np.array_equal(param_l, param_f), f"weights diverge at {name}"
+        assert np.array_equal(grad_l, grad_f), f"gradients diverge at {name}"
+    assert np.array_equal(loop_clf.predict_proba(X), fused_clf.predict_proba(X))
+    assert np.array_equal(loop_clf.predict(X), fused_clf.predict(X))
+
+
+def _random_problem(rng, n, k, num_columns, num_classes):
+    X = rng.normal(size=(n, 1, k, num_columns))
+    # Zero-pad some trailing rows like real community tensors.
+    X[rng.random(n) < 0.3, :, k // 2 :, :] = 0.0
+    y = rng.integers(0, num_classes, size=n)
+    return X, y
+
+
+class TestCommCNNParity:
+    def test_full_network_ragged_batches_dropout(self):
+        rng = np.random.default_rng(7)
+        X, y = _random_problem(rng, 83, 12, 9, 3)  # 83 % 32 != 0: ragged batch
+        config = CommCNNConfig(epochs=3, dropout=0.2, seed=3)
+        loop_clf, fused_clf = _fit_pair(12, 9, 3, X, y, config)
+        _assert_identical(loop_clf, fused_clf, X)
+
+    def test_no_dropout(self):
+        rng = np.random.default_rng(11)
+        X, y = _random_problem(rng, 64, 10, 8, 3)
+        config = CommCNNConfig(epochs=3, dropout=0.0, seed=1)
+        loop_clf, fused_clf = _fit_pair(10, 8, 3, X, y, config)
+        _assert_identical(loop_clf, fused_clf, X)
+
+    @pytest.mark.parametrize(
+        "toggles",
+        [
+            {"include_wide_branch": False, "include_long_branch": False},
+            {"include_square_branch": False, "include_long_branch": False},
+            {"include_square_branch": False, "include_wide_branch": False},
+        ],
+        ids=["square-only", "wide-only", "long-only"],
+    )
+    def test_single_branch_ablations(self, toggles):
+        rng = np.random.default_rng(13)
+        X, y = _random_problem(rng, 45, 8, 7, 2)
+        config = CommCNNConfig(epochs=2, dropout=0.1, seed=5)
+        loop_clf, fused_clf = _fit_pair(8, 7, 2, X, y, config, **toggles)
+        _assert_identical(loop_clf, fused_clf, X)
+
+    def test_sgd_momentum_optimizer(self):
+        rng = np.random.default_rng(17)
+        X, y = _random_problem(rng, 50, 9, 6, 3)
+        config = CommCNNConfig(epochs=3, dropout=0.0, seed=2)
+        loop_clf, fused_clf = _fit_pair(
+            9, 6, 3, X, y, config,
+            optimizer_factory=lambda: SGD(learning_rate=0.05, momentum=0.9),
+        )
+        _assert_identical(loop_clf, fused_clf, X)
+
+    def test_plain_sgd_optimizer(self):
+        rng = np.random.default_rng(19)
+        X, y = _random_problem(rng, 40, 7, 5, 2)
+        config = CommCNNConfig(epochs=2, dropout=0.0, seed=4)
+        loop_clf, fused_clf = _fit_pair(
+            7, 5, 2, X, y, config, optimizer_factory=lambda: SGD(learning_rate=0.05)
+        )
+        _assert_identical(loop_clf, fused_clf, X)
+
+    def test_adam_state_written_back_by_name(self):
+        """The fused optimiser leaves per-name Adam state as the loop would."""
+        rng = np.random.default_rng(23)
+        X, y = _random_problem(rng, 40, 8, 6, 3)
+        config = CommCNNConfig(epochs=2, dropout=0.0, seed=6)
+        loop_clf, fused_clf = _fit_pair(8, 6, 3, X, y, config)
+        loop_adam, fused_adam = loop_clf.optimizer, fused_clf.optimizer
+        assert set(loop_adam._first_moment) == set(fused_adam._first_moment)
+        assert loop_adam._step_count == fused_adam._step_count
+        for name, moment in loop_adam._first_moment.items():
+            assert np.array_equal(moment, fused_adam._first_moment[name])
+            assert np.array_equal(
+                loop_adam._second_moment[name], fused_adam._second_moment[name]
+            )
+
+    def test_predict_on_unseen_larger_batch(self):
+        """Inference capacity grows past the training batch size."""
+        rng = np.random.default_rng(29)
+        X, y = _random_problem(rng, 40, 10, 7, 3)
+        config = CommCNNConfig(epochs=2, dropout=0.1, seed=8)
+        loop_clf, fused_clf = _fit_pair(10, 7, 3, X, y, config)
+        X_big, _ = _random_problem(rng, 300, 10, 7, 3)
+        assert np.array_equal(
+            loop_clf.predict_proba(X_big), fused_clf.predict_proba(X_big)
+        )
+        # Inference growth must not allocate training-only workspaces
+        # (gradients, dropout masks, scratch) at the big batch size.
+        engine = fused_clf._engine
+        assert engine.capacity >= 300
+        assert engine.train_capacity <= 32
+        for slot in engine.slots:
+            if slot.training_only:
+                assert slot.array.shape[0] <= 32
+
+    def test_refit_same_classifier(self):
+        """A second fit recompiles and stays bit-identical to the loop."""
+        rng = np.random.default_rng(31)
+        X1, y1 = _random_problem(rng, 40, 8, 6, 3)
+        X2, y2 = _random_problem(rng, 36, 8, 6, 3)
+        fitted = []
+        for backend in ("loop", "fused"):
+            clf = build_commcnn_classifier(
+                8,
+                6,
+                3,
+                config=CommCNNConfig(epochs=2, dropout=0.0, seed=9, nn_backend=backend),
+            )
+            clf.fit(X1, y1)
+            clf.fit(X2, y2)
+            fitted.append(clf)
+        _assert_identical(fitted[0], fitted[1], X2)
+
+
+class TestBackendResolution:
+    def test_auto_uses_fused_for_commcnn(self):
+        rng = np.random.default_rng(37)
+        X, y = _random_problem(rng, 33, 8, 6, 2)
+        clf = build_commcnn_classifier(
+            8, 6, 2, config=CommCNNConfig(epochs=1, nn_backend="auto")
+        )
+        clf.fit(X, y)
+        assert clf.backend_used_ == "fused"
+
+    def test_auto_falls_back_on_unsupported_layer(self, rng):
+        class Scale(Layer):
+            def forward(self, x, training=False):
+                return x * 2.0
+
+            def backward(self, grad_output):
+                return grad_output * 2.0
+
+        model = Sequential([Dense(4, 8, seed=0), Scale(), ReLU(), Dense(8, 2, seed=1)])
+        clf = NeuralNetworkClassifier(model, num_classes=2, epochs=2, backend="auto")
+        clf.fit(rng.normal(size=(20, 4)), rng.integers(0, 2, size=20))
+        assert clf.backend_used_ == "loop"
+
+    def test_fused_raises_on_unsupported_layer(self, rng):
+        class Scale(Layer):
+            def forward(self, x, training=False):
+                return x * 2.0
+
+            def backward(self, grad_output):
+                return grad_output * 2.0
+
+        model = Sequential([Dense(4, 8, seed=0), Scale()])
+        clf = NeuralNetworkClassifier(model, num_classes=2, epochs=1, backend="fused")
+        with pytest.raises(EngineCompileError):
+            clf.fit(rng.normal(size=(8, 4)), np.zeros(8, dtype=np.int64))
+
+    def test_invalid_backend_rejected(self):
+        model = Sequential([Dense(2, 2)])
+        with pytest.raises(ModelConfigError):
+            NeuralNetworkClassifier(model, num_classes=2, backend="jit")
+
+    def test_fused_detects_wrong_output_width_at_compile(self, rng):
+        model = Sequential([Dense(3, 5, seed=0)])
+        clf = NeuralNetworkClassifier(model, num_classes=3, epochs=1, backend="fused")
+        with pytest.raises(ModelConfigError, match="5 logits"):
+            clf.fit(rng.normal(size=(8, 3)), np.zeros(8, dtype=np.int64))
+
+
+class TestCompiledNetworkDirect:
+    def test_dense_stack_parity(self, rng):
+        model = Sequential(
+            [Dense(6, 16, seed=0), ReLU(), Dense(16, 3, seed=1)]
+        )
+        engine = CompiledNetwork(model, (6,), 3)
+        X = rng.normal(size=(25, 6))
+        assert np.array_equal(engine.forward(X), model.forward(X, training=False))
+
+    def test_conv_flatten_parity(self, rng):
+        model = Sequential(
+            [Conv2D(1, 3, (2, 2), seed=2), ReLU(), Flatten(), Dense(3 * 3 * 2, 2, seed=3)]
+        )
+        engine = CompiledNetwork(model, (1, 4, 3), 2)
+        X = rng.normal(size=(9, 1, 4, 3))
+        assert np.array_equal(engine.forward(X), model.forward(X, training=False))
+
+    def test_empty_input_forward(self):
+        model = Sequential([Dense(4, 2, seed=0)])
+        engine = CompiledNetwork(model, (4,), 2)
+        assert engine.forward(np.zeros((0, 4))).shape == (0, 2)
+
+    def test_rejects_non_2d_output(self):
+        model = Sequential([Conv2D(1, 2, (2, 2), seed=0)])
+        with pytest.raises(EngineCompileError):
+            CompiledNetwork(model, (1, 4, 4), 2)
+
+    def test_custom_optimizer_subclass_uses_generic_path(self, rng):
+        """An Adam subclass must not be silently fused; results still match."""
+
+        class MyAdam(Adam):
+            pass
+
+        X = rng.normal(size=(30, 5))
+        y = rng.integers(0, 2, size=30)
+        fitted = []
+        for backend in ("loop", "fused"):
+            model = Sequential([Dense(5, 8, seed=0), ReLU(), Dense(8, 2, seed=1)])
+            clf = NeuralNetworkClassifier(
+                model,
+                num_classes=2,
+                epochs=3,
+                backend=backend,
+                optimizer=MyAdam(learning_rate=5e-3),
+            )
+            clf.fit(X, y)
+            fitted.append(clf)
+        assert fitted[0].loss_history_ == fitted[1].loss_history_
+        for (_, p_l, _), (_, p_f, _) in zip(
+            fitted[0].model.parameters(), fitted[1].model.parameters()
+        ):
+            assert np.array_equal(p_l, p_f)
