@@ -131,6 +131,24 @@ def test_gbdt_fit_array(benchmark, bench_workload):
     assert model.forest_ is not None
 
 
+def test_gbdt_fit_hist(benchmark, bench_workload):
+    design, labels = _model_design(bench_workload)
+    model = run_once(
+        benchmark,
+        lambda: GradientBoostedClassifier(
+            num_rounds=10, num_classes=3, backend="hist"
+        ).fit(design, labels),
+    )
+    assert model.forest_ is not None
+    # The hist search is approximate where features exceed max_bins distinct
+    # values, so assert model quality (train loss), not bit equality — the
+    # exactness-regime bit parity lives in tests/test_ml_hist.py.
+    reference = GradientBoostedClassifier(
+        num_rounds=10, num_classes=3, backend="array"
+    ).fit(design, labels)
+    assert model.train_loss_history_[-1] <= reference.train_loss_history_[-1] * 1.25
+
+
 def test_forest_predict_node(benchmark, bench_workload):
     design, labels = _model_design(bench_workload)
     model = GradientBoostedClassifier(

@@ -11,10 +11,12 @@ below the committed baseline the script exits non-zero.
 
 Usage::
 
-    python scripts/perf_report.py             # measure, check vs committed, update file
-    python scripts/perf_report.py --check     # measure + gate only, leave file untouched
-    python scripts/perf_report.py --update    # measure + rewrite file, no gate
-    python scripts/perf_report.py --quick ... # smoke mode (tiny scale, 1 repeat)
+    python scripts/perf_report.py               # measure, check vs committed, update file
+    python scripts/perf_report.py --check       # measure + gate only, leave file untouched
+    python scripts/perf_report.py --check-ratios # gate backend speedup ratios only (CI-safe
+                                                 # on machines that didn't produce the baseline)
+    python scripts/perf_report.py --update      # measure + rewrite file, no gate
+    python scripts/perf_report.py --quick ...   # smoke mode (tiny scale, 1 repeat)
 
 The per-benchmark result is the *best* of ``--repeats`` runs, which is the
 standard way to suppress scheduler noise for CPU-bound micro-benchmarks.
@@ -37,6 +39,22 @@ if str(SRC) not in sys.path:
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
 REGRESSION_TOLERANCE = 0.30
 SCHEMA_VERSION = 1
+
+# The ratio gate (--check-ratios) only guards speedup pairs the baseline
+# recorded as decisive wins; near-parity pairs (deliberate crossovers like
+# community_tightness at WeChat-like sizes) would flap on scheduler noise.
+RATIO_GATE_MIN_SPEEDUP = 1.5
+
+# Fast-backend vs reference-backend speedup pairs: csr/dict for the graph +
+# aggregation kernels, array/node for the tree-model kernels, fused/loop for
+# the NN engine, hist/array for the histogram split search (keyed with a
+# "_hist" suffix so it doesn't collide with the array/node pair).
+SPEEDUP_PAIRS = (
+    ("_csr", "_dict", ""),
+    ("_array", "_node", ""),
+    ("_fused", "_loop", ""),
+    ("_hist", "_array", "_hist"),
+)
 
 
 def _time_once(function: Callable[[], object]) -> float:
@@ -84,7 +102,9 @@ def build_benchmarks(quick: bool) -> dict[str, Callable[[], object]]:
     end-to-end Phase II aggregation over every division community (the
     Phase II kernel is likewise compiled outside the timed region, matching
     its once-per-fit lifecycle).  The model layer gets the same treatment:
-    ``gbdt_fit_{node,array}`` (boosted fit on the statistic vectors),
+    ``gbdt_fit_{node,array,hist}`` (boosted fit on the statistic vectors:
+    pointer walks, exact vectorized split search, and the histogram split
+    search of ``repro.ml.hist``),
     ``forest_predict_{node,array}`` (probabilities + leaf-value embedding,
     the LoCEC-XGB inference hot path), ``commcnn_tensor_{dict,csr}``
     (CNN input tensor emission, direct Phase2Kernel path on csr) and
@@ -200,12 +220,16 @@ def build_benchmarks(quick: bool) -> dict[str, Callable[[], object]]:
         ).fit(design, labels)
         for backend in ("node", "array")
     }
-    for backend in ("node", "array"):
+    # gbdt_fit_hist: the histogram split search (one per-fit quantization,
+    # O(rows + bins) per node per feature, parent-minus-sibling histogram
+    # subtraction) against the exact array search above.
+    for backend in ("node", "array", "hist"):
         benchmarks[f"gbdt_fit_{model_scale}_{backend}"] = (
             lambda be=backend, d=design, y=labels: GradientBoostedClassifier(
                 num_rounds=10, num_classes=3, backend=be
             ).fit(d, y)
         )
+    for backend in ("node", "array"):
         benchmarks[f"forest_predict_{model_scale}_{backend}"] = (
             lambda m=fitted[backend], d=design: (
                 m.predict_proba(d),
@@ -261,10 +285,7 @@ def run_suite(quick: bool, repeats: int) -> dict:
         "benchmarks": results,
         "derived": {},
     }
-    # Fast-backend vs reference-backend speedup pairs: csr/dict for the
-    # graph+aggregation kernels, array/node for the tree-model kernels,
-    # fused/loop for the NN execution engine.
-    for fast, reference in (("_csr", "_dict"), ("_array", "_node"), ("_fused", "_loop")):
+    for fast, reference, key_suffix in SPEEDUP_PAIRS:
         for name in list(results):
             if name.endswith(fast):
                 twin = name[: -len(fast)] + reference
@@ -272,7 +293,8 @@ def run_suite(quick: bool, repeats: int) -> dict:
                     speedup = results[twin]["seconds_per_op"] / results[name][
                         "seconds_per_op"
                     ]
-                    report["derived"][f"speedup_{name[: -len(fast)]}"] = speedup
+                    key = f"speedup_{name[: -len(fast)]}{key_suffix}"
+                    report["derived"][key] = speedup
     for key, value in sorted(report["derived"].items()):
         print(f"{key:40s} {value:6.2f}x")
     return report
@@ -301,6 +323,47 @@ def check_regressions(report: dict, baseline_path: Path) -> list[str]:
     return regressions
 
 
+def check_ratio_regressions(report: dict, baseline_path: Path) -> list[str]:
+    """Names of *speedup ratios* that regressed >30% vs the committed baseline.
+
+    Absolute ops/sec gating (:func:`check_regressions`) only works when the
+    run and the baseline come from the same machine; CI runners are not that
+    machine.  Speedup ratios compare two backends measured in the *same*
+    run on the *same* host, so they transfer: a fast kernel that loses its
+    edge over its reference backend regressed no matter the hardware.  Only
+    ratios the baseline recorded as decisive (>= ``RATIO_GATE_MIN_SPEEDUP``)
+    are gated — near-parity pairs are deliberate crossovers, not wins to
+    protect.
+    """
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping ratio gate")
+        return []
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("quick", False) != report.get("quick", False):
+        print("baseline and run use different modes; skipping ratio gate")
+        return []
+    regressions = []
+    for name, base_ratio in baseline.get("derived", {}).items():
+        if base_ratio < RATIO_GATE_MIN_SPEEDUP:
+            continue
+        ratio = report.get("derived", {}).get(name)
+        if ratio is None:
+            # A guarded ratio with no counterpart means the benchmark pair
+            # was removed or renamed — fail loudly instead of going
+            # vacuously green (the gate would otherwise protect nothing).
+            regressions.append(
+                f"{name}: baseline ratio {base_ratio:.2f}x has no counterpart "
+                "in this run (benchmark pair removed or renamed?)"
+            )
+            continue
+        floor = base_ratio * (1.0 - REGRESSION_TOLERANCE)
+        if ratio < floor:
+            regressions.append(
+                f"{name}: {ratio:.2f}x < {floor:.2f}x (baseline {base_ratio:.2f}x - 30%)"
+            )
+    return regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -325,6 +388,12 @@ def main(argv: list[str] | None = None) -> int:
         "--check", action="store_true", help="gate only, leave the JSON untouched"
     )
     parser.add_argument(
+        "--check-ratios",
+        action="store_true",
+        help="gate the backend speedup *ratios* only (machine-portable: the "
+        "CI job for runners that did not produce the absolute baseline)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT, help="report path"
     )
     args = parser.parse_args(argv)
@@ -333,11 +402,15 @@ def main(argv: list[str] | None = None) -> int:
     report = run_suite(quick=args.quick, repeats=repeats)
 
     failures: list[str] = []
-    if not args.update:
+    if args.check_ratios:
+        failures = check_ratio_regressions(report, args.output)
+        for line in failures:
+            print(f"RATIO REGRESSION: {line}", file=sys.stderr)
+    elif not args.update:
         failures = check_regressions(report, args.output)
         for line in failures:
             print(f"REGRESSION: {line}", file=sys.stderr)
-    if not args.check:
+    if not args.check and not args.check_ratios:
         args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.output}")
     if failures:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.synthetic.survey import SurveyResult
-from repro.types import RelationType, SecondCategory
+from repro.types import RelationType
 
 
 def table1_rows(survey: SurveyResult) -> list[tuple[str, float, str, float]]:

@@ -175,6 +175,7 @@ class GBDTCommunityClassifier(CommunityClassifier):
             num_classes=self.num_classes,
             seed=self.config.seed,
             backend=self.config.backend,
+            max_bins=self.config.max_bins,
         )
         self._model.fit(design, np.asarray(labels, dtype=np.int64))
         return self

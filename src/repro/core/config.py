@@ -52,16 +52,26 @@ class GBDTConfig:
     subsample: float = 1.0
     seed: int = 0
     backend: str = "auto"
-    """Model-layer backend: ``"node"`` walks, ``"array"`` forest tensors, or
-    ``"auto"`` (array when NumPy is available).  Outputs are bit-identical."""
+    """Model-layer backend: ``"node"`` walks, ``"array"`` forest tensors with
+    the exact split search, ``"hist"`` histogram split search (quantized to
+    ``max_bins`` bins once per fit), or ``"auto"`` (exact below the
+    row-count crossover, hist above it).  ``node``/``array`` outputs are
+    bit-identical; ``hist`` matches them exactly while every feature fits
+    in the bin budget."""
+
+    max_bins: int = 256
+    """Histogram resolution of the ``"hist"`` backend (ignored otherwise)."""
 
     def validate(self) -> None:
         if self.num_rounds < 1:
             raise ModelConfigError("num_rounds must be positive")
-        if self.backend not in {"auto", "node", "array"}:
+        if self.backend not in {"auto", "node", "array", "hist"}:
             raise ModelConfigError(
-                f"backend must be 'auto', 'node' or 'array', got {self.backend!r}"
+                "backend must be 'auto', 'node', 'array' or 'hist', "
+                f"got {self.backend!r}"
             )
+        if self.max_bins < 2:
+            raise ModelConfigError("max_bins must be >= 2")
 
 
 @dataclass
@@ -85,10 +95,13 @@ class LoCECConfig:
         communities, tightness values and Phase II feature matrices.
     ml_backend:
         Model-layer backend for the Phase II/III tree models: ``"auto"``
-        (default; flattened forest tensors when NumPy is available),
-        ``"array"``, or ``"node"`` (pointer-based reference walks).  Fitted
+        (default; the exact flattened forest tensors, switching to the
+        histogram split search above a row-count crossover), ``"array"``,
+        ``"hist"`` (histogram split search, ``gbdt.max_bins`` bins per
+        feature), or ``"node"`` (pointer-based reference walks).  Fitted
         models, probabilities and leaf-value embeddings are bit-identical
-        either way.
+        between ``node`` and ``array``; ``hist`` chooses identical splits
+        while every feature fits in the bin budget.
     nn_backend:
         Execution backend for the CommCNN neural network: ``"auto"``
         (default; the compiled tape engine of :mod:`repro.ml.nn.engine`),
@@ -138,9 +151,10 @@ class LoCECConfig:
             raise ModelConfigError(
                 f"backend must be 'auto', 'dict' or 'csr', got {self.backend!r}"
             )
-        if self.ml_backend not in {"auto", "node", "array"}:
+        if self.ml_backend not in {"auto", "node", "array", "hist"}:
             raise ModelConfigError(
-                f"ml_backend must be 'auto', 'node' or 'array', got {self.ml_backend!r}"
+                "ml_backend must be 'auto', 'node', 'array' or 'hist', "
+                f"got {self.ml_backend!r}"
             )
         if self.nn_backend not in {"auto", "loop", "fused"}:
             raise ModelConfigError(

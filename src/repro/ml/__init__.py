@@ -2,12 +2,14 @@
 
 from repro.ml.base import Classifier, one_hot, softmax
 from repro.ml.forest import (
+    HIST_AUTO_MIN_ROWS,
     ML_BACKENDS,
     ForestTensor,
     TreeTensor,
     resolve_ml_backend,
 )
 from repro.ml.gbdt import GradientBoostedClassifier
+from repro.ml.hist import BinnedDataset, HistTreeGrower
 from repro.ml.logistic import LogisticRegression
 from repro.ml.metrics import (
     accuracy,
@@ -36,8 +38,11 @@ __all__ = [
     "GradientRegressionTree",
     "RegressionTreeConfig",
     "ML_BACKENDS",
+    "HIST_AUTO_MIN_ROWS",
     "ForestTensor",
     "TreeTensor",
+    "BinnedDataset",
+    "HistTreeGrower",
     "resolve_ml_backend",
     "accuracy",
     "classification_report",

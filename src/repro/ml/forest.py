@@ -34,25 +34,43 @@ import numpy as np
 
 from repro.exceptions import ModelConfigError
 
-ML_BACKENDS = ("auto", "node", "array")
+ML_BACKENDS = ("auto", "node", "array", "hist")
 """Valid model-layer backends: pointer-based ``_TreeNode`` walks, flat NumPy
-tensors, or ``auto`` (currently the tensors: unlike the graph layer's dict
-backend, the whole ML substrate already requires NumPy, so there is no
-NumPy-free fallback for ``auto`` to pick — ``"node"`` exists as an explicit
-reference/debugging choice)."""
+tensors with the exact vectorized split search, or the histogram split
+search of :mod:`repro.ml.hist`.  ``auto`` picks between the exact array
+kernels and the histogram search by row count (see
+:func:`resolve_ml_backend`); unlike the graph layer's dict backend, the
+whole ML substrate already requires NumPy, so ``"node"`` exists only as an
+explicit reference/debugging choice."""
+
+HIST_AUTO_MIN_ROWS = 4096
+"""Row-count crossover for ``auto``: below this the exact array search is
+kept (bit-identical splits, and the per-node ``argsort`` cost is modest),
+at or above it ``auto`` prefers the ``O(rows + bins)`` histogram search —
+the sort term dominates there and hist's threshold snapping is amortised
+away by ``max_bins`` quantile bins.  The hist backend typically wins raw
+fit speed well below this (~3x at ~1k rows, see ``BENCH_kernels.json``);
+the crossover is deliberately conservative so ``auto`` trades exactness
+for speed only where the win is decisive."""
 
 
-def resolve_ml_backend(backend: str) -> str:
+def resolve_ml_backend(backend: str, num_rows: int | None = None) -> str:
     """Resolve an ML backend name to the concrete implementation to run.
 
-    Mirrors :func:`repro.core.division.resolve_backend` in shape; ``auto``
-    resolves to the array kernels (see :data:`ML_BACKENDS`).
+    Mirrors :func:`repro.core.division.resolve_backend` in shape.  ``auto``
+    resolves to the exact array kernels, unless the fitting row count is
+    known (``num_rows``) and reaches :data:`HIST_AUTO_MIN_ROWS`, in which
+    case the histogram split search takes over.
     """
     if backend not in ML_BACKENDS:
         raise ModelConfigError(
             f"unknown ml backend {backend!r}; available: {sorted(ML_BACKENDS)}"
         )
-    return "array" if backend == "auto" else backend
+    if backend == "auto":
+        if num_rows is not None and num_rows >= HIST_AUTO_MIN_ROWS:
+            return "hist"
+        return "array"
+    return backend
 
 
 class TreeTensor:

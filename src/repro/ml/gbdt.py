@@ -44,9 +44,19 @@ class GradientBoostedClassifier:
     backend:
         ``"node"`` for per-row ``_TreeNode`` walks, ``"array"`` for the
         stacked :class:`~repro.ml.forest.ForestTensor` kernels (one batched
-        traversal over all rounds x classes), ``"auto"`` (default) to pick
-        the array kernels when NumPy is available.  Fitted models and every
-        prediction are bit-identical across backends.
+        traversal over all rounds x classes), ``"hist"`` for the histogram
+        split search of :mod:`repro.ml.hist` (the feature matrix is
+        quantized into at most ``max_bins`` bins **once per fit** and every
+        tree of every round searches splits in ``O(rows + bins)`` per
+        feature), or ``"auto"`` (default) to pick by row count
+        (:func:`~repro.ml.forest.resolve_ml_backend`).  Fitted models and
+        every prediction are bit-identical between ``node`` and ``array``;
+        ``hist`` chooses identical splits while each feature has at most
+        ``max_bins`` distinct values and snaps thresholds to quantile bin
+        edges beyond that.
+    max_bins:
+        Histogram resolution of the ``"hist"`` backend (ignored by the
+        exact backends).
 
     Examples
     --------
@@ -71,6 +81,7 @@ class GradientBoostedClassifier:
         num_classes: int | None = None,
         seed: int = 0,
         backend: str = "auto",
+        max_bins: int = 256,
     ) -> None:
         if num_rounds < 1:
             raise ModelConfigError("num_rounds must be >= 1")
@@ -85,6 +96,7 @@ class GradientBoostedClassifier:
             min_samples_leaf=min_samples_leaf,
             reg_lambda=reg_lambda,
             gamma=gamma,
+            max_bins=max_bins,
         )
         self.tree_config.validate()
         self.subsample = subsample
@@ -117,6 +129,19 @@ class GradientBoostedClassifier:
         self.trees_ = []
         self.train_loss_history_ = []
 
+        # The hist backend quantizes the feature matrix exactly once per fit;
+        # every tree of every round reuses the codes (row-subset copies of
+        # the codes when subsampling).  Resolving here (with the row count)
+        # also pins the auto choice for all trees, so a subsampled round
+        # cannot flip backends mid-fit.
+        resolved = resolve_ml_backend(self.backend, num_rows=n_samples)
+        self._resolved_backend = resolved
+        binned = None
+        if resolved == "hist":
+            from repro.ml.hist import BinnedDataset
+
+            binned = BinnedDataset.from_matrix(X, self.tree_config.max_bins)
+
         for _ in range(self.num_rounds):
             probabilities = softmax(raw_scores)
             gradients = probabilities - targets
@@ -125,16 +150,21 @@ class GradientBoostedClassifier:
             if self.subsample < 1.0:
                 sample_size = max(2, int(round(self.subsample * n_samples)))
                 row_idx = rng.choice(n_samples, size=sample_size, replace=False)
+                round_binned = binned.subset(row_idx) if binned is not None else None
+                X_round = X[row_idx]
             else:
                 row_idx = np.arange(n_samples)
+                round_binned = binned
+                X_round = X
 
             round_trees: list[GradientRegressionTree] = []
             for class_index in range(num_classes):
-                tree = GradientRegressionTree(self.tree_config, backend=self.backend)
+                tree = GradientRegressionTree(self.tree_config, backend=resolved)
                 tree.fit(
-                    X[row_idx],
+                    X_round,
                     gradients[row_idx, class_index],
                     hessians[row_idx, class_index],
+                    binned=round_binned,
                 )
                 raw_scores[:, class_index] += self.learning_rate * tree.predict(X)
                 round_trees.append(tree)
@@ -152,7 +182,7 @@ class GradientBoostedClassifier:
 
         self._num_classes = num_classes
         self.forest_ = None
-        if self._resolved_backend == "array":
+        if self._resolved_backend in ("array", "hist"):
             self.forest_ = ForestTensor.from_trees(
                 [tree for round_trees in self.trees_ for tree in round_trees]
             )

@@ -11,7 +11,7 @@ and the optimal leaf weight is ``-G/(H+λ)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -45,6 +45,10 @@ class RegressionTreeConfig:
     reg_lambda: float = 1.0
     gamma: float = 0.0
     min_gain: float = 1e-7
+    max_bins: int = 256
+    """Histogram resolution of the ``"hist"`` backend: features with at most
+    this many distinct values are binned exactly (splits identical to the
+    exact search), wider features snap to quantile bin edges."""
 
     def validate(self) -> None:
         if self.max_depth < 1:
@@ -53,6 +57,8 @@ class RegressionTreeConfig:
             raise ModelConfigError("min_samples_leaf must be >= 1")
         if self.reg_lambda < 0:
             raise ModelConfigError("reg_lambda must be non-negative")
+        if self.max_bins < 2:
+            raise ModelConfigError("max_bins must be >= 2")
 
 
 class GradientRegressionTree:
@@ -64,10 +70,15 @@ class GradientRegressionTree:
         Tree hyper-parameters (depth, regularisation, minimum leaf size).
     backend:
         ``"node"`` for the pointer-based reference walks, ``"array"`` for the
-        flattened :class:`~repro.ml.forest.TreeTensor` kernels, ``"auto"``
-        (default) to pick the array kernels when NumPy is available.  Both
-        backends fit bit-identical trees and produce bit-identical
-        predictions (``tests/test_ml_forest.py``).
+        flattened :class:`~repro.ml.forest.TreeTensor` kernels with the exact
+        vectorized split search, ``"hist"`` for the histogram split search of
+        :mod:`repro.ml.hist` (thresholds snap to at most
+        ``config.max_bins`` bins per feature; identical to the exact search
+        while every feature fits in the bin budget), or ``"auto"`` (default)
+        to pick by row count.  The node and array backends fit bit-identical
+        trees and produce bit-identical predictions
+        (``tests/test_ml_forest.py``); the hist backend's exactness regime is
+        arbitrated by ``tests/test_ml_hist.py``.
     """
 
     def __init__(
@@ -82,9 +93,19 @@ class GradientRegressionTree:
         self.num_leaves_: int = 0
 
     def fit(
-        self, X: np.ndarray, gradients: np.ndarray, hessians: np.ndarray
+        self,
+        X: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        binned: "object | None" = None,
     ) -> "GradientRegressionTree":
-        """Grow the tree greedily on ``(X, gradients, hessians)``."""
+        """Grow the tree greedily on ``(X, gradients, hessians)``.
+
+        ``binned`` optionally supplies a prebuilt, row-aligned
+        :class:`~repro.ml.hist.BinnedDataset` so a boosting loop can
+        quantize once per fit instead of once per tree; ignored by the
+        non-hist backends.
+        """
         X = np.asarray(X, dtype=np.float64)
         gradients = np.asarray(gradients, dtype=np.float64)
         hessians = np.asarray(hessians, dtype=np.float64)
@@ -96,7 +117,22 @@ class GradientRegressionTree:
             )
         self.num_leaves_ = 0
         self.tensor_ = None
+        self._resolved_backend = resolve_ml_backend(self.backend, num_rows=X.shape[0])
         indices = np.arange(X.shape[0])
+        if self._resolved_backend == "hist":
+            from repro.ml.hist import BinnedDataset, HistTreeGrower
+
+            if binned is None:
+                binned = BinnedDataset.from_matrix(X, self.config.max_bins)
+            elif binned.codes.shape[0] != X.shape[0]:
+                raise DimensionMismatchError(
+                    f"binned dataset has {binned.codes.shape[0]} rows but X has "
+                    f"{X.shape[0]}; pass a row-aligned BinnedDataset.subset"
+                )
+            grower = HistTreeGrower(binned, gradients, hessians, self.config)
+            self.root_ = grower.grow(self, indices)
+            self.tensor_ = TreeTensor.from_root(self.root_)
+            return self
         self.root_ = self._build(X, gradients, hessians, indices, depth=0)
         if self._resolved_backend == "array":
             self.tensor_ = TreeTensor.from_root(self.root_)

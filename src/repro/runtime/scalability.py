@@ -88,7 +88,7 @@ def measure_phases(
     benchmark budget; per-item costs are unaffected because all phases are
     per-item computations.  ``backend`` selects the kernel layer for Phases I
     and II (``"auto"``/``"csr"``/``"dict"``), ``ml_backend`` the tree-model
-    layer (``"auto"``/``"array"``/``"node"``) and ``nn_backend`` the CommCNN
+    layer (``"auto"``/``"array"``/``"hist"``/``"node"``) and ``nn_backend`` the CommCNN
     execution engine (``"auto"``/``"fused"``/``"loop"``), mirroring
     ``LoCECConfig``.  With ``include_model_kernels=True`` the model-layer
     kernels are timed too: ``gbdt_fit`` (a ``gbdt_rounds``-round boosted fit

@@ -104,6 +104,7 @@ class TestEconomix:
             Economix().predict([(1, 2)])
 
 
+@pytest.mark.slow
 class TestXGBoostEdge:
     def test_requires_labels(self, tiny_data):
         with pytest.raises(PipelineError):

@@ -1,0 +1,79 @@
+"""Syntax-validate the CI pipeline (`.github/workflows/ci.yml`).
+
+There is no `act` in the test environment, so this is the executable stand-in:
+the workflow must parse as YAML and carry the structure the repo's gates
+depend on — a test matrix across supported Pythons, a full-suite job that
+includes the ``slow`` tier, a perf job wired to ``perf_report.py``'s ratio
+gate, and a ruff lint job.  A refactor that silently drops one of the gates
+fails here instead of on the first broken PR.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW_PATH = (
+    Path(__file__).resolve().parent.parent / ".github" / "workflows" / "ci.yml"
+)
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    assert WORKFLOW_PATH.exists(), "CI workflow must be committed"
+    return yaml.safe_load(WORKFLOW_PATH.read_text())
+
+
+def _steps_text(job: dict) -> str:
+    return " ".join(str(step.get("run", "")) for step in job["steps"])
+
+
+def test_workflow_parses_and_triggers(workflow):
+    # YAML 1.1 parses the bare `on` key as boolean True.
+    triggers = workflow.get("on", workflow.get(True))
+    assert "pull_request" in triggers
+    assert "push" in triggers
+
+
+def test_test_matrix_covers_supported_pythons(workflow):
+    matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]["python-version"]
+    assert [str(v) for v in matrix] == ["3.10", "3.11", "3.12"]
+    run = _steps_text(workflow["jobs"]["tests"])
+    assert "python -m pytest" in run
+    assert 'not slow' in run  # the matrix runs the fast tier
+
+
+def test_full_suite_job_runs_slow_tier(workflow):
+    run = _steps_text(workflow["jobs"]["full-suite"])
+    assert "python -m pytest" in run
+    assert "not slow" not in run  # one job runs everything
+
+
+def test_perf_gate_runs_ratio_check(workflow):
+    run = _steps_text(workflow["jobs"]["perf-gate"])
+    assert "scripts/perf_report.py" in run
+    assert "--check-ratios" in run
+
+
+def test_lint_job_runs_ruff(workflow):
+    job = workflow["jobs"]["lint"]
+    run = _steps_text(job)
+    assert "ruff check" in run
+    assert "ruff format --check" in run
+    format_steps = [
+        step for step in job["steps"] if "ruff format" in str(step.get("run", ""))
+    ]
+    assert format_steps and format_steps[0].get("continue-on-error") is True
+
+
+def test_jobs_use_pip_caching(workflow):
+    for name in ("tests", "full-suite", "perf-gate"):
+        setup_steps = [
+            step
+            for step in workflow["jobs"][name]["steps"]
+            if "setup-python" in str(step.get("uses", ""))
+        ]
+        assert setup_steps and setup_steps[0]["with"]["cache"] == "pip"

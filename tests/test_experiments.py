@@ -120,6 +120,7 @@ class TestCheapExperiments:
         assert totals_b == sorted(totals_b, reverse=True)
 
 
+@pytest.mark.slow
 class TestEvaluateMethodIntegration:
     @pytest.mark.parametrize("method", ["ProbWP", "Economix", "XGBoost"])
     def test_baselines_beat_chance(self, tiny_workload, method):

@@ -25,7 +25,7 @@ from repro.graph.generators import (
     paper_figure7_network,
     planted_partition,
 )
-from repro.types import InteractionDim, LabeledEdge, RelationType
+from repro.types import LabeledEdge, RelationType
 
 
 class TestEdgeListIO:

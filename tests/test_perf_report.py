@@ -16,6 +16,11 @@ from pathlib import Path
 
 import pytest
 
+# Benchmark-shaped: the module fixture executes the full --quick perf suite.
+# CI's matrix job skips the slow tier; the full-suite job (and the local
+# tier-1 command) still runs it.
+pytestmark = pytest.mark.slow
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
@@ -56,6 +61,7 @@ def test_quick_report_schema(quick_report):
         "commcnn_tensor_tiny_csr",
         "gbdt_fit_tiny_node",
         "gbdt_fit_tiny_array",
+        "gbdt_fit_tiny_hist",
         "forest_predict_tiny_node",
         "forest_predict_tiny_array",
         "commcnn_fit_tiny_loop",
@@ -68,6 +74,7 @@ def test_quick_report_schema(quick_report):
         assert benchmarks[expected]["seconds_per_op"] > 0
     assert "speedup_phase1_division_tiny" in report["derived"]
     assert "speedup_gbdt_fit_tiny" in report["derived"]
+    assert "speedup_gbdt_fit_tiny_hist" in report["derived"]
     assert "speedup_forest_predict_tiny" in report["derived"]
     assert "speedup_commcnn_tensor_tiny" in report["derived"]
     assert "speedup_commcnn_fit_tiny" in report["derived"]
@@ -80,12 +87,79 @@ def test_check_passes_against_itself(perf_report, quick_report):
     # so the gate is exercised on the recorded report.)
     output, report = quick_report
     assert perf_report.check_regressions(report, output) == []
+    assert perf_report.check_ratio_regressions(report, output) == []
 
 
 def test_check_skips_mismatched_modes(perf_report, quick_report):
     output, report = quick_report
     full = dict(report, quick=False)
     assert perf_report.check_regressions(full, output) == []
+    assert perf_report.check_ratio_regressions(full, output) == []
+
+
+def test_check_skips_missing_baseline(perf_report, quick_report, tmp_path, capsys):
+    # A fresh clone (or a renamed output) has no baseline: the gate must
+    # pass, loudly, instead of crashing or failing the build.
+    _, report = quick_report
+    missing = tmp_path / "does_not_exist.json"
+    assert perf_report.check_regressions(report, missing) == []
+    assert perf_report.check_ratio_regressions(report, missing) == []
+    captured = capsys.readouterr().out
+    assert "skipping regression gate" in captured
+    assert "skipping ratio gate" in captured
+
+
+def test_synthetic_regression_fails_check(perf_report, quick_report):
+    # A >30% ops/sec drop on any benchmark must be named by the gate; a
+    # drop inside the tolerance must not.
+    output, report = quick_report
+    slowed = json.loads(json.dumps(report))
+    name = next(iter(slowed["benchmarks"]))
+    slowed["benchmarks"][name]["ops_per_sec"] *= 0.6  # -40%: over the line
+    failures = perf_report.check_regressions(slowed, output)
+    assert len(failures) == 1 and failures[0].startswith(f"{name}:")
+
+    tolerated = json.loads(json.dumps(report))
+    for result in tolerated["benchmarks"].values():
+        result["ops_per_sec"] *= 0.8  # -20%: inside the 30% tolerance
+    assert perf_report.check_regressions(tolerated, output) == []
+
+
+def test_synthetic_ratio_regression_fails_check(perf_report, quick_report):
+    # The ratio gate guards decisive speedups (>= 1.5x baseline) and
+    # ignores near-parity pairs, which are deliberate crossovers.
+    output, report = quick_report
+    doctored = json.loads(json.dumps(report))
+    guarded = [
+        name
+        for name, ratio in report["derived"].items()
+        if ratio >= perf_report.RATIO_GATE_MIN_SPEEDUP
+    ]
+    assert guarded, "quick report should contain at least one decisive speedup"
+    for name in doctored["derived"]:
+        doctored["derived"][name] = 0.01  # every backend win collapses
+    failures = perf_report.check_ratio_regressions(doctored, output)
+    assert sorted(failures)[0].split(":")[0] in guarded
+    assert len(failures) == len(guarded)
+
+
+def test_ratio_gate_fails_on_missing_guarded_ratio(perf_report, quick_report):
+    # Dropping/renaming a guarded benchmark pair must fail the gate, not
+    # leave it vacuously green.
+    output, report = quick_report
+    pruned = json.loads(json.dumps(report))
+    guarded = [
+        name
+        for name, ratio in report["derived"].items()
+        if ratio >= perf_report.RATIO_GATE_MIN_SPEEDUP
+    ]
+    victim = guarded[0]
+    del pruned["derived"][victim]
+    failures = perf_report.check_ratio_regressions(pruned, output)
+    assert any(
+        failure.startswith(f"{victim}:") and "no counterpart" in failure
+        for failure in failures
+    )
 
 
 def test_regression_gate_trips(perf_report, quick_report):
@@ -122,3 +196,7 @@ def test_committed_baseline_is_valid_json():
     assert "commcnn_fit_small_fused" in report["benchmarks"]
     assert report["derived"]["speedup_commcnn_fit_small"] >= 1.4
     assert report["derived"]["speedup_commcnn_predict_small"] >= 2.0
+    # PR 5 acceptance: the histogram split search fits the small-scale GBDT
+    # >= 3x faster than the exact array search on the baseline machine.
+    assert "gbdt_fit_small_hist" in report["benchmarks"]
+    assert report["derived"]["speedup_gbdt_fit_small_hist"] >= 3.0

@@ -28,7 +28,6 @@ from repro.core.division import DivisionResult, LocalCommunity, divide
 from repro.exceptions import FeatureError
 from repro.graph import Graph, InteractionStore, NodeFeatureStore
 from repro.graph.phase2 import Phase2Kernel
-from repro.synthetic import make_workload
 
 SEEDS = (0, 1, 2, 3, 4)
 
@@ -349,6 +348,7 @@ class TestCommunityContainingIndex:
         assert merged.community_containing(0, 2) is not None
 
 
+@pytest.mark.slow
 class TestPipelineBackendParity:
     def test_fit_predict_identical_across_backends(self, tiny_workload):
         """LoCEC end-to-end with backend='dict' vs 'csr' (XGB variant: its
