@@ -1,6 +1,6 @@
 """Command-line interface for the LoCEC reproduction.
 
-Three subcommands cover the common workflows without writing any Python:
+Four subcommands cover the common workflows without writing any Python:
 
 * ``locec-repro list`` — list the available paper experiments.
 * ``locec-repro run table4 --scale small --seed 0`` — regenerate one paper
@@ -9,6 +9,10 @@ Three subcommands cover the common workflows without writing any Python:
   synthetic WeChat-like dataset (graph + features + interactions + survey
   labels) and save it as a JSON bundle loadable with
   :func:`repro.graph.load_dataset_json`.
+* ``locec-repro chaos --scale tiny --fault-rate 0.3`` — chaos knob: run the
+  sharded Phase I executor under a seeded fault-injection schedule
+  (transient errors, timeouts, simulated worker kills) and exit non-zero
+  unless the merged division is bit-identical to a clean run.
 
 The CLI is also reachable as ``python -m repro.cli``.
 """
@@ -55,6 +59,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="synthetic workload size (default: small)",
     )
     generate_parser.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run the sharded Phase I executor under seeded fault injection "
+        "and verify the merged result matches a clean run",
+    )
+    chaos_parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=["tiny", "small", "medium", "large"],
+        help="synthetic workload size (default: tiny)",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    chaos_parser.add_argument(
+        "--shards", type=int, default=4, help="number of shards (default: 4)"
+    )
+    chaos_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; 1 = serial fault simulation (default: 1)",
+    )
+    chaos_parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.25,
+        help="per-attempt fault probability in [0, 1] (default: 0.25)",
+    )
+    chaos_parser.add_argument(
+        "--mode",
+        default="skip",
+        choices=["raise", "skip", "serial_fallback"],
+        help="on_shard_failure mode (default: skip)",
+    )
+    chaos_parser.add_argument(
+        "--max-egos",
+        type=int,
+        default=80,
+        help="limit Phase I to the first N egos (default: 80)",
+    )
     return parser
 
 
@@ -92,6 +136,33 @@ def _command_generate(output: str, scale: str, seed: int) -> int:
     return 0
 
 
+def _command_chaos(
+    scale: str,
+    seed: int,
+    shards: int,
+    workers: int,
+    fault_rate: float,
+    mode: str,
+    max_egos: int,
+) -> int:
+    from repro.runtime import run_chaos
+
+    workload = make_workload(scale=scale, seed=seed)
+    report = run_chaos(
+        workload.dataset,
+        num_shards=shards,
+        num_workers=workers,
+        fault_rate=fault_rate,
+        seed=seed,
+        max_egos=max_egos,
+        on_shard_failure=mode,
+    )
+    print(report.to_text())
+    # The chaos gate: a fault schedule that eventually succeeds must yield
+    # a merged division bit-identical to the clean run.
+    return 0 if report.identical_to_clean and not report.failed_shards else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -101,6 +172,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_run(args.experiment, args.scale, args.seed)
     if args.command == "generate":
         return _command_generate(args.output, args.scale, args.seed)
+    if args.command == "chaos":
+        return _command_chaos(
+            args.scale,
+            args.seed,
+            args.shards,
+            args.workers,
+            args.fault_rate,
+            args.mode,
+            args.max_egos,
+        )
     return 2  # pragma: no cover - argparse enforces the choices above
 
 

@@ -75,6 +75,77 @@ class GBDTConfig:
 
 
 @dataclass
+class ResilienceConfig:
+    """Fault-tolerance knobs of the sharded execution runtime.
+
+    Consumed by :class:`repro.runtime.executor.ShardedDivisionExecutor`
+    (``RetryPolicy.from_config`` derives the backoff schedule).  Defaults
+    reproduce the paper deployment's posture: a few cheap retries with
+    exponential backoff, fail loudly when a shard is truly broken.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per shard (1 = no retries).
+    backoff_base / backoff_factor / backoff_max:
+        Exponential backoff schedule: the delay before retry ``n`` is
+        ``min(backoff_base * backoff_factor**(n-1), backoff_max)`` seconds.
+    jitter:
+        Extra delay fraction in ``[0, 1]``, drawn deterministically from
+        ``(seed, shard_id, attempt)`` so schedules are reproducible.
+    shard_timeout:
+        Per-shard wall-clock budget in seconds (``None`` = unbounded).
+        Enforced via ``future.result(timeout=...)`` under a process pool and
+        via the injected clock under serial fault simulation.
+    on_shard_failure:
+        What happens once a shard's attempt budget is spent: ``"raise"``
+        aborts the run, ``"skip"`` records the shard in
+        ``ExecutionReport.failed_shards`` and keeps the partial result
+        first-class, ``"serial_fallback"`` re-runs the shard in-process
+        (bypassing pool/fault-injection flakiness) before giving up.
+    checkpoint_dir:
+        When set, every completed shard's ``DivisionResult`` spills to this
+        directory; ``run(resume_from=...)`` skips fingerprint-matching
+        checkpoints so a killed run resumes instead of recomputing.
+    max_pool_rebuilds:
+        How many times a broken process pool is rebuilt before the executor
+        degrades to in-process serial execution for the remaining shards.
+    seed:
+        Seed of the deterministic backoff jitter.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.1
+    shard_timeout: float | None = None
+    on_shard_failure: str = "raise"
+    checkpoint_dir: str | None = None
+    max_pool_rebuilds: int = 1
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ModelConfigError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ModelConfigError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ModelConfigError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ModelConfigError("jitter must be in [0, 1]")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ModelConfigError("shard_timeout must be positive or None")
+        if self.on_shard_failure not in {"raise", "skip", "serial_fallback"}:
+            raise ModelConfigError(
+                "on_shard_failure must be 'raise', 'skip' or 'serial_fallback', "
+                f"got {self.on_shard_failure!r}"
+            )
+        if self.max_pool_rebuilds < 0:
+            raise ModelConfigError("max_pool_rebuilds must be >= 0")
+
+
+@dataclass
 class LoCECConfig:
     """Top-level configuration of the LoCEC pipeline (Algorithm 2).
 
@@ -130,6 +201,10 @@ class LoCECConfig:
     seed: int = 0
     cnn: CommCNNConfig = field(default_factory=CommCNNConfig)
     gbdt: GBDTConfig = field(default_factory=GBDTConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    """Fault-tolerance knobs consumed by the sharded execution runtime
+    (retries, timeouts, failure mode, checkpointing); see
+    :class:`ResilienceConfig`."""
 
     def validate(self) -> None:
         if self.k < 1:
@@ -166,6 +241,7 @@ class LoCECConfig:
             raise ModelConfigError("edge_lr_iterations must be positive")
         self.cnn.validate()
         self.gbdt.validate()
+        self.resilience.validate()
 
     @classmethod
     def locec_cnn(cls, **overrides: object) -> "LoCECConfig":

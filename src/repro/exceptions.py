@@ -85,3 +85,105 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """Errors raised by the experiment harness."""
+
+
+def _rebuild_exception(cls: type, state: dict, args: tuple):
+    """Unpickle helper for exceptions whose ``__init__`` signature does not
+    match ``args`` — rebuilds the instance without re-running ``__init__`` so
+    errors survive the trip back from worker processes."""
+    exc = cls.__new__(cls)
+    exc.args = args
+    exc.__dict__.update(state)
+    return exc
+
+
+class _PicklableErrorMixin:
+    """Gives an exception a signature-independent pickle round-trip."""
+
+    def __reduce__(self):
+        return (_rebuild_exception, (type(self), self.__dict__, self.args))
+
+
+# --------------------------------------------------------------- graph IO
+class EdgeListError(_PicklableErrorMixin, GraphError, DatasetError):
+    """Base class for edge-list / labeled-edge parsing errors.
+
+    Derives from both :class:`GraphError` (the data is graph input) and
+    :class:`DatasetError` (callers that predate the fine-grained hierarchy
+    catch that).  Every instance names the offending file and 1-based line
+    number via ``.path`` / ``.lineno``.
+    """
+
+    def __init__(self, path: object, lineno: int, message: str) -> None:
+        super().__init__(f"{path}:{lineno}: {message}")
+        self.path = str(path)
+        self.lineno = lineno
+
+
+class MalformedLineError(EdgeListError):
+    """A line could not be parsed into the expected fields."""
+
+
+class NonFiniteWeightError(EdgeListError):
+    """An edge weight column parsed but is NaN or infinite."""
+
+
+class DuplicateEdgeError(EdgeListError):
+    """The same undirected edge appears more than once in the input."""
+
+
+# ------------------------------------------------------ execution runtime
+class ExecutorError(PipelineError):
+    """Base class for failures inside the sharded execution runtime."""
+
+
+class ShardFailedError(_PicklableErrorMixin, ExecutorError):
+    """A shard task failed permanently (non-retryable or retries exhausted)."""
+
+    def __init__(self, shard_id: int, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"shard {shard_id} failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.shard_id = shard_id
+        self.attempts = attempts
+        self.cause = cause
+
+
+class RetryExhaustedError(ShardFailedError):
+    """A shard kept failing with retryable errors until the attempt budget ran out."""
+
+    def __init__(self, shard_id: int, attempts: int, cause: BaseException) -> None:
+        ExecutorError.__init__(
+            self,
+            f"shard {shard_id}: retries exhausted after {attempts} attempt(s); "
+            f"last error: {cause!r}",
+        )
+        self.shard_id = shard_id
+        self.attempts = attempts
+        self.cause = cause
+
+
+class ShardTimeoutError(_PicklableErrorMixin, ExecutorError):
+    """A shard task exceeded its per-shard timeout (retryable by default)."""
+
+    def __init__(self, shard_id: int, timeout_seconds: float) -> None:
+        super().__init__(
+            f"shard {shard_id} timed out after {timeout_seconds:g}s"
+        )
+        self.shard_id = shard_id
+        self.timeout_seconds = timeout_seconds
+
+
+class WorkerCrashError(_PicklableErrorMixin, ExecutorError):
+    """A worker process died mid-task (hard kill / broken pool); retryable."""
+
+    def __init__(self, shard_id: int | None = None, detail: str = "") -> None:
+        where = f"shard {shard_id}" if shard_id is not None else "a shard task"
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"worker process crashed while running {where}{suffix}")
+        self.shard_id = shard_id
+        self.detail = detail
+
+
+class CheckpointError(ExecutorError):
+    """A shard checkpoint could not be written or read."""

@@ -18,7 +18,12 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.exceptions import DatasetError
+from repro.exceptions import (
+    DatasetError,
+    DuplicateEdgeError,
+    MalformedLineError,
+    NonFiniteWeightError,
+)
 from repro.graph.features import NodeFeatureStore
 from repro.graph.graph import Graph
 from repro.graph.interactions import InteractionStore
@@ -34,8 +39,29 @@ def write_edge_list(graph: Graph, path: str | Path) -> None:
             handle.write(f"{u}\t{v}\n")
 
 
-def read_edge_list(path: str | Path, node_type: type = int) -> Graph:
+def _check_on_error(on_error: str) -> None:
+    if on_error not in {"raise", "skip"}:
+        raise DatasetError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+
+
+def read_edge_list(
+    path: str | Path, node_type: type = int, on_error: str = "raise"
+) -> Graph:
     """Read a tab- or space-separated edge list into a :class:`Graph`.
+
+    Each data line is ``u v`` or ``u v weight``.  The graph model is
+    unweighted, but a weight column — common in real edge-list dumps — is
+    still validated: it must parse as a **finite** float.  Malformed input
+    raises a precise :class:`~repro.exceptions.EdgeListError` subclass
+    naming the offending line:
+
+    * :class:`~repro.exceptions.MalformedLineError` — too few tokens, a
+      token that ``node_type`` rejects, a non-numeric weight, or a
+      self-loop;
+    * :class:`~repro.exceptions.NonFiniteWeightError` — a weight that
+      parses but is NaN or infinite;
+    * :class:`~repro.exceptions.DuplicateEdgeError` — an undirected edge
+      that already appeared (previously a silent overwrite).
 
     Parameters
     ----------
@@ -44,21 +70,68 @@ def read_edge_list(path: str | Path, node_type: type = int) -> Graph:
     node_type:
         Callable applied to each token to build node identifiers
         (default ``int``).
+    on_error:
+        ``"raise"`` (default) aborts on the first bad line; ``"skip"`` drops
+        bad lines and keeps reading — the streaming posture of the paper's
+        production ingest, where one corrupt record must not sink a shard.
     """
+    _check_on_error(on_error)
     path = Path(path)
     graph = Graph()
+    seen: set[tuple[object, object]] = set()
     with path.open("r", encoding="utf-8") as handle:
         for lineno, raw in enumerate(handle, start=1):
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
-            parts = line.split()
-            if len(parts) < 2:
-                raise DatasetError(
-                    f"{path}:{lineno}: expected 'u v' pair, got {line!r}"
-                )
-            graph.add_edge(node_type(parts[0]), node_type(parts[1]))
+            try:
+                u, v = _parse_edge_line(path, lineno, line, node_type, seen)
+            except (MalformedLineError, NonFiniteWeightError, DuplicateEdgeError):
+                if on_error == "skip":
+                    continue
+                raise
+            graph.add_edge(u, v)
     return graph
+
+
+def _parse_edge_line(
+    path: Path,
+    lineno: int,
+    line: str,
+    node_type: type,
+    seen: set[tuple[object, object]],
+) -> tuple[object, object]:
+    parts = line.split()
+    if len(parts) < 2:
+        raise MalformedLineError(path, lineno, f"expected 'u v' pair, got {line!r}")
+    try:
+        u, v = node_type(parts[0]), node_type(parts[1])
+    except (TypeError, ValueError) as exc:
+        raise MalformedLineError(
+            path, lineno, f"cannot parse node ids from {line!r}: {exc}"
+        ) from exc
+    if u == v:
+        raise MalformedLineError(
+            path, lineno, f"self-loop {u!r}-{v!r} is not allowed"
+        )
+    if len(parts) >= 3:
+        try:
+            weight = float(parts[2])
+        except ValueError as exc:
+            raise MalformedLineError(
+                path, lineno, f"cannot parse weight {parts[2]!r}"
+            ) from exc
+        if not np.isfinite(weight):
+            raise NonFiniteWeightError(
+                path, lineno, f"non-finite edge weight {parts[2]!r}"
+            )
+    key = (u, v) if repr(u) <= repr(v) else (v, u)
+    if key in seen:
+        raise DuplicateEdgeError(
+            path, lineno, f"duplicate edge {u!r}-{v!r}"
+        )
+    seen.add(key)
+    return u, v
 
 
 def write_labeled_edges(labels: Iterable[LabeledEdge], path: str | Path) -> None:
@@ -70,28 +143,65 @@ def write_labeled_edges(labels: Iterable[LabeledEdge], path: str | Path) -> None
             handle.write(f"{item.u}\t{item.v}\t{item.label.name}\n")
 
 
-def read_labeled_edges(path: str | Path, node_type: type = int) -> list[LabeledEdge]:
-    """Read labeled edges written by :func:`write_labeled_edges`."""
+def read_labeled_edges(
+    path: str | Path, node_type: type = int, on_error: str = "raise"
+) -> list[LabeledEdge]:
+    """Read labeled edges written by :func:`write_labeled_edges`.
+
+    Error handling mirrors :func:`read_edge_list`: malformed lines, unknown
+    relation names and duplicate labeled edges raise
+    :class:`~repro.exceptions.EdgeListError` subclasses naming the line, and
+    ``on_error="skip"`` drops bad lines instead of aborting.
+    """
+    _check_on_error(on_error)
     path = Path(path)
     labels: list[LabeledEdge] = []
+    seen: set[tuple[object, object]] = set()
     with path.open("r", encoding="utf-8") as handle:
         for lineno, raw in enumerate(handle, start=1):
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
-            parts = line.split()
-            if len(parts) < 3:
-                raise DatasetError(
-                    f"{path}:{lineno}: expected 'u v label', got {line!r}"
-                )
             try:
-                label = RelationType[parts[2]]
-            except KeyError:
-                raise DatasetError(
-                    f"{path}:{lineno}: unknown relation type {parts[2]!r}"
-                ) from None
-            labels.append(LabeledEdge(node_type(parts[0]), node_type(parts[1]), label))
+                labels.append(
+                    _parse_labeled_line(path, lineno, line, node_type, seen)
+                )
+            except (MalformedLineError, DuplicateEdgeError):
+                if on_error == "skip":
+                    continue
+                raise
     return labels
+
+
+def _parse_labeled_line(
+    path: Path,
+    lineno: int,
+    line: str,
+    node_type: type,
+    seen: set[tuple[object, object]],
+) -> LabeledEdge:
+    parts = line.split()
+    if len(parts) < 3:
+        raise MalformedLineError(
+            path, lineno, f"expected 'u v label', got {line!r}"
+        )
+    try:
+        u, v = node_type(parts[0]), node_type(parts[1])
+    except (TypeError, ValueError) as exc:
+        raise MalformedLineError(
+            path, lineno, f"cannot parse node ids from {line!r}: {exc}"
+        ) from exc
+    try:
+        label = RelationType[parts[2]]
+    except KeyError:
+        raise MalformedLineError(
+            path, lineno, f"unknown relation type {parts[2]!r}"
+        ) from None
+    key = (u, v) if repr(u) <= repr(v) else (v, u)
+    if key in seen:
+        raise DuplicateEdgeError(path, lineno, f"duplicate labeled edge {u!r}-{v!r}")
+    seen.add(key)
+    return LabeledEdge(u, v, label)
 
 
 def save_dataset_json(

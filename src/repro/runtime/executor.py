@@ -1,24 +1,64 @@
-"""Shard executor: runs Phase I over shards, serially or with worker processes.
+"""Supervised shard executor: fault-tolerant Phase I over shards.
 
-The production system streams nodes through 50–200 servers; this executor
-reproduces the decomposition (shard → per-ego work → merge) at laptop scale.
-The default mode is deterministic serial execution; ``num_workers > 1`` uses
-a process pool, which demonstrates the parallel speed-up the cost model and
-Figure 12(b) reason about.
+The production system streams nodes through 50–200 servers where worker
+crashes, stragglers and partial failures are routine; this executor
+reproduces the decomposition (shard → per-ego work → merge) at laptop scale
+*with the supervision that makes it survivable*:
+
+* per-shard **retries** under a :class:`~repro.runtime.resilience.RetryPolicy`
+  (exponential backoff, deterministic jitter, retryable-error
+  classification),
+* per-shard **timeouts** (``future.result(timeout=...)`` under a process
+  pool; simulated on the injected clock under serial fault injection),
+* a broken process pool is **rebuilt** up to ``max_pool_rebuilds`` times and
+  then the executor **degrades to in-process serial execution** for the
+  remaining shards,
+* ``on_shard_failure`` selects the failure semantics once a shard's attempt
+  budget is spent — abort (``"raise"``), keep going with a first-class
+  partial result (``"skip"``), or retry once in-process
+  (``"serial_fallback"``),
+* completed shard results optionally **checkpoint** to disk, and
+  ``run(resume_from=...)`` skips fingerprint-matching shards so a killed run
+  resumes instead of recomputing.
+
+The invariant throughout: any fault schedule that eventually succeeds yields
+a merged :class:`~repro.core.division.DivisionResult` bit-identical to the
+clean serial run — supervision changes *when* work happens, never *what* it
+computes.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from repro.core.config import ResilienceConfig
 from repro.core.division import DivisionResult, divide, resolve_backend
+from repro.exceptions import (
+    RetryExhaustedError,
+    ShardFailedError,
+    ShardTimeoutError,
+    WorkerCrashError,
+)
 from repro.graph.graph import Graph
-from repro.runtime.sharding import Shard, shard_nodes
+from repro.runtime.faultinject import FaultPlan
+from repro.runtime.resilience import (
+    Clock,
+    RetryPolicy,
+    RetryState,
+    ShardCheckpointStore,
+    ShardFailure,
+    SystemClock,
+)
+from repro.runtime.sharding import Shard, shard_nodes, validate_shards
 from repro.types import Node
 
 _WORKER_GRAPH = None
+_WORKER_FAULT_PLAN: FaultPlan | None = None
+_WORKER_TIMEOUT: float | None = None
 
 
 def _prepare_graph(graph: Graph, backend: str):
@@ -32,40 +72,73 @@ def _prepare_graph(graph: Graph, backend: str):
     return graph
 
 
-def _init_worker(graph: Graph, backend: str) -> None:
+def _init_worker(
+    graph: Graph,
+    backend: str,
+    fault_plan: FaultPlan | None = None,
+    shard_timeout: float | None = None,
+) -> None:
     """Process-pool initializer: receive the graph once per worker process.
 
     The graph is pickled exactly once per worker instead of once per shard
     task, which matters because the graph is by far the largest object in a
-    task and shards typically outnumber workers severalfold.
+    task and shards typically outnumber workers severalfold.  The fault plan
+    (tests / chaos runs only) travels the same way.
     """
-    global _WORKER_GRAPH
+    global _WORKER_GRAPH, _WORKER_FAULT_PLAN, _WORKER_TIMEOUT
     _WORKER_GRAPH = _prepare_graph(graph, backend)
+    _WORKER_FAULT_PLAN = fault_plan
+    _WORKER_TIMEOUT = shard_timeout
 
 
 def _process_shard_in_worker(
-    shard: Shard, detector: str, backend: str
+    shard: Shard, detector: str, backend: str, attempt: int = 0
 ) -> tuple[int, DivisionResult, float]:
     assert _WORKER_GRAPH is not None, "worker initializer did not run"
+    if _WORKER_FAULT_PLAN is not None:
+        _WORKER_FAULT_PLAN.apply(
+            shard.shard_id, attempt, in_worker=True, timeout=_WORKER_TIMEOUT
+        )
     return _process_shard(_WORKER_GRAPH, shard, detector, backend)
 
 
 @dataclass
 class ShardReport:
-    """Timing and size information for one processed shard."""
+    """Timing, size and supervision information for one processed shard."""
 
     shard_id: int
     num_egos: int
     num_communities: int
     seconds: float
+    attempts: int = 1
+    """Total attempts made (1 = succeeded first try)."""
+    timeouts: int = 0
+    """How many of the failed attempts were per-shard timeouts."""
+    from_checkpoint: bool = False
+    """True when the result was loaded from a checkpoint, not recomputed."""
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
 
 
 @dataclass
 class ExecutionReport:
-    """Result of a sharded Phase I execution."""
+    """Result of a sharded Phase I execution.
+
+    Partial results are first-class: under ``on_shard_failure="skip"`` the
+    merged ``division`` covers every shard that succeeded and
+    ``failed_shards`` names the ones that did not (with attempt counts and
+    the final error), so callers can re-drive exactly the missing work.
+    """
 
     division: DivisionResult
     shard_reports: list[ShardReport] = field(default_factory=list)
+    failed_shards: list[ShardFailure] = field(default_factory=list)
+    pool_rebuilds: int = 0
+    """Times a broken process pool was torn down and rebuilt."""
+    degraded_to_serial: bool = False
+    """True when repeated pool breakage forced in-process serial execution."""
 
     @property
     def total_seconds(self) -> float:
@@ -77,6 +150,15 @@ class ExecutionReport:
         if not self.shard_reports:
             return 0.0
         return max(report.seconds for report in self.shard_reports)
+
+    @property
+    def total_retries(self) -> int:
+        retried = sum(report.retries for report in self.shard_reports)
+        return retried + sum(max(0, item.attempts - 1) for item in self.failed_shards)
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(report.timeouts for report in self.shard_reports)
 
     def mean_seconds_per_ego(self) -> float:
         egos = sum(report.num_egos for report in self.shard_reports)
@@ -91,8 +173,20 @@ def _process_shard(
     return shard.shard_id, division, time.perf_counter() - start
 
 
+@dataclass
+class _ShardOutcome:
+    """Internal: one shard's final state after supervision."""
+
+    shard: Shard
+    division: DivisionResult
+    seconds: float
+    attempts: int
+    timeouts: int
+    from_checkpoint: bool = False
+
+
 class ShardedDivisionExecutor:
-    """Run LoCEC Phase I shard by shard.
+    """Run LoCEC Phase I shard by shard under supervision.
 
     Parameters
     ----------
@@ -107,6 +201,21 @@ class ShardedDivisionExecutor:
     backend:
         Graph backend for Phase I (``"auto"``/``"dict"``/``"csr"``, see
         :func:`repro.core.division.divide`).
+    resilience:
+        Fault-tolerance knobs (:class:`repro.core.config.ResilienceConfig`):
+        retry budget and backoff, per-shard timeout, ``on_shard_failure``
+        mode, checkpoint directory, pool-rebuild budget.
+    retry_policy:
+        Optional explicit :class:`~repro.runtime.resilience.RetryPolicy`;
+        derived from ``resilience`` when omitted.
+    fault_plan:
+        Optional :class:`~repro.runtime.faultinject.FaultPlan` injecting
+        deterministic faults into shard attempts (tests / chaos runs).
+    clock:
+        Injectable time source for backoff sleeps and simulated hangs;
+        defaults to the system clock.  Tests inject
+        :class:`~repro.runtime.resilience.FakeClock` so no retry path ever
+        wall-sleeps.
     """
 
     def __init__(
@@ -116,49 +225,322 @@ class ShardedDivisionExecutor:
         detector: str = "girvan_newman",
         strategy: str = "round_robin",
         backend: str = "auto",
+        resilience: ResilienceConfig | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        clock: Clock | None = None,
     ) -> None:
         self.num_shards = num_shards
         self.num_workers = num_workers
         self.detector = detector
         self.strategy = strategy
         self.backend = backend
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self.resilience.validate()
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy.from_config(self.resilience)
+        )
+        self.retry_policy.validate()
+        self.fault_plan = fault_plan
+        self.clock = clock if clock is not None else SystemClock()
+        self._prepared_graph = None  # parent-process graph, built lazily
 
-    def run(self, graph: Graph, egos: list[Node] | None = None) -> ExecutionReport:
-        """Execute Phase I over all (or the given) egos and merge shard results."""
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        graph: Graph,
+        egos: list[Node] | None = None,
+        resume_from: str | None = None,
+    ) -> ExecutionReport:
+        """Execute Phase I over all (or the given) egos and merge shard results.
+
+        ``resume_from`` names a checkpoint directory from a previous run:
+        shards whose checkpoint fingerprint (id + ego list + detector)
+        matches are loaded instead of recomputed, so a killed run resumes
+        where it stopped.  When ``resilience.checkpoint_dir`` is set, every
+        completed shard spills there as it finishes.
+        """
         nodes = list(graph.nodes()) if egos is None else list(egos)
-        shards = shard_nodes(nodes, self.num_shards, strategy=self.strategy)
+        shards = validate_shards(
+            shard_nodes(nodes, self.num_shards, strategy=self.strategy)
+        )
         report = ExecutionReport(division=DivisionResult())
+        self._prepared_graph = None
 
-        if self.num_workers <= 1:
-            prepared = _prepare_graph(graph, self.backend)
-            results = [
-                _process_shard(prepared, shard, self.detector, self.backend)
-                for shard in shards
-            ]
-        else:
-            # The graph travels to each worker once via the pool initializer;
-            # shard tasks then carry only the (small) shard and settings.
-            with ProcessPoolExecutor(
-                max_workers=self.num_workers,
-                initializer=_init_worker,
-                initargs=(graph, self.backend),
-            ) as pool:
-                futures = [
-                    pool.submit(
-                        _process_shard_in_worker, shard, self.detector, self.backend
-                    )
-                    for shard in shards
-                ]
-                results = [future.result() for future in futures]
+        write_store = (
+            ShardCheckpointStore(self.resilience.checkpoint_dir)
+            if self.resilience.checkpoint_dir
+            else None
+        )
+        resume_store = ShardCheckpointStore(resume_from) if resume_from else None
 
-        for shard_id, division, seconds in sorted(results, key=lambda item: item[0]):
-            report.division = report.division.merge(division)
+        outcomes: dict[int, _ShardOutcome] = {}
+        pending: list[RetryState] = []
+        for shard in shards:
+            checkpoint = resume_store.load(shard, self.detector) if resume_store else None
+            if checkpoint is not None:
+                outcomes[shard.shard_id] = _ShardOutcome(
+                    shard=shard,
+                    division=checkpoint.division,
+                    seconds=checkpoint.seconds,
+                    attempts=0,
+                    timeouts=0,
+                    from_checkpoint=True,
+                )
+            else:
+                pending.append(RetryState(shard))
+
+        if pending:
+            if self.num_workers <= 1:
+                self._run_serial(graph, pending, report, outcomes, write_store)
+            else:
+                self._run_pool(graph, pending, report, outcomes, write_store)
+
+        for shard_id in sorted(outcomes):
+            outcome = outcomes[shard_id]
+            report.division = report.division.merge(outcome.division)
             report.shard_reports.append(
                 ShardReport(
                     shard_id=shard_id,
-                    num_egos=division.num_egos,
-                    num_communities=division.num_communities,
-                    seconds=seconds,
+                    num_egos=outcome.division.num_egos,
+                    num_communities=outcome.division.num_communities,
+                    seconds=outcome.seconds,
+                    attempts=max(outcome.attempts, 1) if not outcome.from_checkpoint
+                    else outcome.attempts,
+                    timeouts=outcome.timeouts,
+                    from_checkpoint=outcome.from_checkpoint,
                 )
             )
+        report.failed_shards.sort(key=lambda item: item.shard_id)
         return report
+
+    # ------------------------------------------------------------- internals
+    def _parent_graph(self, graph: Graph):
+        if self._prepared_graph is None:
+            self._prepared_graph = _prepare_graph(graph, self.backend)
+        return self._prepared_graph
+
+    def _checkpoint(
+        self,
+        write_store: ShardCheckpointStore | None,
+        shard: Shard,
+        division: DivisionResult,
+        seconds: float,
+    ) -> None:
+        if write_store is not None:
+            write_store.save(shard, self.detector, division, seconds)
+
+    def _run_serial(
+        self,
+        graph: Graph,
+        states: list[RetryState],
+        report: ExecutionReport,
+        outcomes: dict[int, _ShardOutcome],
+        write_store: ShardCheckpointStore | None,
+        apply_faults: bool = True,
+    ) -> None:
+        """Supervised in-process execution.
+
+        Faults (when a plan is injected) run in *simulation* mode: hangs
+        advance the injected clock and surface as ``ShardTimeoutError``,
+        kills surface as ``WorkerCrashError`` — the parent process is never
+        actually stalled or killed.
+        """
+        prepared = self._parent_graph(graph)
+        for state in states:
+            shard = state.shard
+            while True:
+                try:
+                    if apply_faults and self.fault_plan is not None:
+                        self.fault_plan.apply(
+                            shard.shard_id,
+                            state.attempt,
+                            in_worker=False,
+                            clock=self.clock,
+                            timeout=self.resilience.shard_timeout,
+                        )
+                    _, division, seconds = _process_shard(
+                        prepared, shard, self.detector, self.backend
+                    )
+                except Exception as exc:  # noqa: BLE001 — supervision boundary
+                    state.record_failure(exc)
+                    if self._should_retry(state, exc):
+                        self.clock.sleep(
+                            self.retry_policy.delay(state.attempt, key=shard.shard_id)
+                        )
+                        continue
+                    self._handle_exhausted(
+                        graph, state, exc, report, outcomes, write_store
+                    )
+                    break
+                outcomes[shard.shard_id] = _ShardOutcome(
+                    shard=shard,
+                    division=division,
+                    seconds=seconds,
+                    attempts=state.attempt + 1,
+                    timeouts=state.timeouts,
+                )
+                self._checkpoint(write_store, shard, division, seconds)
+                break
+
+    def _run_pool(
+        self,
+        graph: Graph,
+        states: list[RetryState],
+        report: ExecutionReport,
+        outcomes: dict[int, _ShardOutcome],
+        write_store: ShardCheckpointStore | None,
+    ) -> None:
+        """Supervised process-pool execution with pool-rebuild recovery."""
+        timeout = self.resilience.shard_timeout
+        pool = self._make_pool(graph)
+        pending = list(states)
+        try:
+            while pending:
+                futures: list[tuple[RetryState, object | None]] = []
+                broken = False
+                for state in pending:
+                    if broken:
+                        futures.append((state, None))
+                        continue
+                    try:
+                        futures.append(
+                            (
+                                state,
+                                pool.submit(
+                                    _process_shard_in_worker,
+                                    state.shard,
+                                    self.detector,
+                                    self.backend,
+                                    state.attempt,
+                                ),
+                            )
+                        )
+                    except BrokenProcessPool:
+                        broken = True
+                        futures.append((state, None))
+
+                retry_wave: list[RetryState] = []
+                for state, future in futures:
+                    shard = state.shard
+                    if future is None:
+                        exc: Exception = WorkerCrashError(
+                            shard.shard_id, detail="process pool broken"
+                        )
+                    else:
+                        try:
+                            _, division, seconds = future.result(timeout=timeout)
+                            outcomes[shard.shard_id] = _ShardOutcome(
+                                shard=shard,
+                                division=division,
+                                seconds=seconds,
+                                attempts=state.attempt + 1,
+                                timeouts=state.timeouts,
+                            )
+                            self._checkpoint(write_store, shard, division, seconds)
+                            continue
+                        except FutureTimeoutError:
+                            exc = ShardTimeoutError(shard.shard_id, timeout)
+                            future.cancel()
+                        except BrokenProcessPool:
+                            broken = True
+                            exc = WorkerCrashError(
+                                shard.shard_id, detail="worker process died"
+                            )
+                        except Exception as raw:  # noqa: BLE001 — supervision boundary
+                            exc = raw
+                    state.record_failure(exc)
+                    if self._should_retry(state, exc):
+                        retry_wave.append(state)
+                    else:
+                        self._handle_exhausted(
+                            graph, state, exc, report, outcomes, write_store
+                        )
+
+                if broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    report.pool_rebuilds += 1
+                    if report.pool_rebuilds > self.resilience.max_pool_rebuilds:
+                        # The pool keeps dying: degrade to in-process serial
+                        # execution for everything still unfinished.
+                        report.degraded_to_serial = True
+                        self._run_serial(
+                            graph, retry_wave, report, outcomes, write_store
+                        )
+                        return
+                    pool = self._make_pool(graph)
+
+                if retry_wave:
+                    # One backoff per wave: the longest of the per-shard
+                    # delays (per-shard sleeps would serialize the pool).
+                    self.clock.sleep(
+                        max(
+                            self.retry_policy.delay(s.attempt, key=s.shard.shard_id)
+                            for s in retry_wave
+                        )
+                    )
+                pending = retry_wave
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _make_pool(self, graph: Graph) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.num_workers,
+            initializer=_init_worker,
+            initargs=(
+                graph,
+                self.backend,
+                self.fault_plan,
+                self.resilience.shard_timeout,
+            ),
+        )
+
+    def _should_retry(self, state: RetryState, exc: Exception) -> bool:
+        return (
+            self.retry_policy.is_retryable(exc)
+            and state.attempt < self.retry_policy.max_attempts
+        )
+
+    def _handle_exhausted(
+        self,
+        graph: Graph,
+        state: RetryState,
+        exc: Exception,
+        report: ExecutionReport,
+        outcomes: dict[int, _ShardOutcome],
+        write_store: ShardCheckpointStore | None,
+    ) -> None:
+        """Apply ``on_shard_failure`` once a shard's attempt budget is spent."""
+        shard = state.shard
+        mode = self.resilience.on_shard_failure
+        if mode == "serial_fallback":
+            # Last resort: run the shard in-process, bypassing the pool and
+            # the fault-injection layer (both model infrastructure faults,
+            # and the in-process path has neither workers nor injectors).
+            try:
+                _, division, seconds = _process_shard(
+                    self._parent_graph(graph), shard, self.detector, self.backend
+                )
+            except Exception as fallback_exc:  # noqa: BLE001 — supervision boundary
+                raise ShardFailedError(
+                    shard.shard_id, state.attempt + 1, fallback_exc
+                ) from fallback_exc
+            outcomes[shard.shard_id] = _ShardOutcome(
+                shard=shard,
+                division=division,
+                seconds=seconds,
+                attempts=state.attempt + 1,
+                timeouts=state.timeouts,
+            )
+            self._checkpoint(write_store, shard, division, seconds)
+            return
+        if mode == "skip":
+            report.failed_shards.append(
+                ShardFailure.from_error(shard.shard_id, state.attempt, exc)
+            )
+            return
+        if self.retry_policy.is_retryable(exc):
+            raise RetryExhaustedError(shard.shard_id, state.attempt, exc) from exc
+        raise ShardFailedError(shard.shard_id, state.attempt, exc) from exc

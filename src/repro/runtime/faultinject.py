@@ -1,0 +1,181 @@
+"""Deterministic fault injection for the sharded execution runtime.
+
+A :class:`FaultPlan` maps ``(shard_id, attempt)`` pairs to faults and is
+applied at the entry of every shard task, so a test (or the CLI chaos knob)
+can script exactly which attempts fail and how:
+
+* ``transient`` — raises :class:`TransientInjectedError` (retryable: the
+  error carries ``transient=True``, which :class:`~repro.runtime.resilience.
+  RetryPolicy` honours).
+* ``permanent`` — raises :class:`PermanentInjectedError` (never retried).
+* ``hang`` — the task stalls past the per-shard timeout.  In a worker
+  process this is a real ``time.sleep`` (the supervisor's
+  ``future.result(timeout=...)`` fires); under serial execution the stall is
+  simulated on the injected clock and surfaces as the same
+  :class:`~repro.exceptions.ShardTimeoutError` the supervisor would raise —
+  zero real sleeps in the fast test tier.
+* ``kill`` — hard worker death.  In a worker process ``os._exit`` drops the
+  process without cleanup (the parent observes ``BrokenProcessPool``); under
+  serial execution it is simulated as :class:`~repro.exceptions.
+  WorkerCrashError` so the parent process is never actually killed.
+
+Plans are plain picklable data: they travel to worker processes through the
+pool initializer exactly like the graph does.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Iterable, Sequence
+
+from repro.exceptions import (
+    PipelineError,
+    ReproError,
+    ShardTimeoutError,
+    WorkerCrashError,
+)
+from repro.runtime.resilience import Clock
+
+FAULT_KINDS = ("transient", "permanent", "hang", "kill")
+
+
+class InjectedFaultError(ReproError):
+    """Base class for errors raised by the fault-injection harness."""
+
+    transient = False
+
+    def __init__(self, shard_id: int, attempt: int) -> None:
+        super().__init__(
+            f"injected {type(self).__name__} on shard {shard_id} attempt {attempt}"
+        )
+        self.shard_id = shard_id
+        self.attempt = attempt
+
+    def __reduce__(self):  # survive the trip back from worker processes
+        return (type(self), (self.shard_id, self.attempt))
+
+
+class TransientInjectedError(InjectedFaultError):
+    """A synthetic transient failure; retry policies classify it retryable."""
+
+    transient = True
+
+
+class PermanentInjectedError(InjectedFaultError):
+    """A synthetic permanent failure; never retried."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: what happens on ``(shard_id, attempt)``."""
+
+    shard_id: int
+    attempt: int
+    kind: str
+    duration: float = 0.5
+    """``hang`` only: real seconds a worker-process task stalls.  Serial
+    (simulated) hangs advance the injected clock past the timeout instead."""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise PipelineError(
+                f"unknown fault kind {self.kind!r}; available: {sorted(FAULT_KINDS)}"
+            )
+
+
+class FaultPlan:
+    """A deterministic schedule of faults keyed by ``(shard_id, attempt)``."""
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self._faults: dict[tuple[int, int], Fault] = {}
+        for fault in faults:
+            key = (fault.shard_id, fault.attempt)
+            if key in self._faults:
+                raise PipelineError(
+                    f"duplicate fault for shard {fault.shard_id} "
+                    f"attempt {fault.attempt}"
+                )
+            self._faults[key] = fault
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self):
+        return iter(sorted(self._faults.values(),
+                           key=lambda f: (f.shard_id, f.attempt)))
+
+    def fault_for(self, shard_id: int, attempt: int) -> Fault | None:
+        return self._faults.get((shard_id, attempt))
+
+    @classmethod
+    def random(
+        cls,
+        shard_ids: Sequence[int],
+        seed: int = 0,
+        fault_rate: float = 0.25,
+        max_attempts: int = 3,
+        kinds: Sequence[str] = ("transient", "hang", "kill"),
+        hang_duration: float = 0.5,
+    ) -> "FaultPlan":
+        """Seeded chaos: each shard draws faults on its early attempts.
+
+        Faults are only ever injected on attempts ``< max_attempts - 1``, so
+        a run under a policy with that attempt budget is guaranteed to
+        eventually succeed — which is exactly the regime where the merged
+        division must come out bit-identical to a clean run.
+        """
+        if not 0.0 <= fault_rate <= 1.0:
+            raise PipelineError("fault_rate must be in [0, 1]")
+        rng = Random(seed)
+        faults: list[Fault] = []
+        for shard_id in shard_ids:
+            for attempt in range(max(0, max_attempts - 1)):
+                if rng.random() >= fault_rate:
+                    break  # this attempt succeeds; later ones never run
+                kind = kinds[rng.randrange(len(kinds))]
+                faults.append(
+                    Fault(shard_id=shard_id, attempt=attempt, kind=kind,
+                          duration=hang_duration)
+                )
+        return cls(faults)
+
+    def apply(
+        self,
+        shard_id: int,
+        attempt: int,
+        *,
+        in_worker: bool,
+        clock: Clock | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        """Trigger the fault scheduled for ``(shard_id, attempt)``, if any.
+
+        Called at the entry of every shard task.  ``in_worker`` selects the
+        real behaviour (sleep / hard ``os._exit``) versus the serial
+        simulation (clock advance / raised crash error) — the serial path
+        must never stall or kill the parent process.
+        """
+        fault = self.fault_for(shard_id, attempt)
+        if fault is None:
+            return
+        if fault.kind == "transient":
+            raise TransientInjectedError(shard_id, attempt)
+        if fault.kind == "permanent":
+            raise PermanentInjectedError(shard_id, attempt)
+        if fault.kind == "hang":
+            if in_worker:
+                time.sleep(fault.duration)
+                return  # the parent's future timeout decides the task's fate
+            stall = fault.duration if timeout is None else max(
+                fault.duration, timeout * 2
+            )
+            if clock is not None:
+                clock.sleep(stall)
+            raise ShardTimeoutError(shard_id, timeout if timeout else stall)
+        if fault.kind == "kill":
+            if in_worker:
+                os._exit(1)  # hard death: no cleanup, parent sees BrokenProcessPool
+            raise WorkerCrashError(shard_id, detail="injected kill (serial simulation)")

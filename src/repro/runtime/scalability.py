@@ -217,6 +217,108 @@ class ScalabilityStudy:
         return model.sweep_servers(list(server_counts))
 
 
+@dataclass
+class ChaosReport:
+    """Outcome of a seeded fault-injection (chaos) run of the shard executor.
+
+    ``identical_to_clean`` is the headline resilience invariant: the merged
+    division of the faulted run must be bit-identical to a clean run over
+    the same egos whenever every shard eventually succeeded.
+    """
+
+    num_shards: int
+    completed_shards: int
+    failed_shards: list[int]
+    injected_faults: int
+    total_retries: int
+    total_timeouts: int
+    pool_rebuilds: int
+    degraded_to_serial: bool
+    identical_to_clean: bool
+
+    def to_text(self) -> str:
+        lines = [
+            f"shards           : {self.completed_shards}/{self.num_shards} completed",
+            f"injected faults  : {self.injected_faults}",
+            f"retries          : {self.total_retries}",
+            f"timeouts         : {self.total_timeouts}",
+            f"pool rebuilds    : {self.pool_rebuilds}"
+            + (" (degraded to serial)" if self.degraded_to_serial else ""),
+            f"failed shards    : {self.failed_shards or 'none'}",
+            f"identical to clean run: {self.identical_to_clean}",
+        ]
+        return "\n".join(lines)
+
+
+def run_chaos(
+    dataset: SocialNetworkDataset,
+    num_shards: int = 4,
+    num_workers: int = 1,
+    fault_rate: float = 0.25,
+    seed: int = 0,
+    max_egos: int | None = 80,
+    detector: str = "label_propagation",
+    on_shard_failure: str = "skip",
+    shard_timeout: float = 30.0,
+    kinds: tuple[str, ...] = ("transient", "hang", "kill"),
+) -> ChaosReport:
+    """Chaos knob: run the shard executor under a seeded fault schedule.
+
+    Builds a deterministic :class:`~repro.runtime.faultinject.FaultPlan`
+    (faults only on non-final attempts, so every shard eventually succeeds),
+    runs the supervised executor with an injected
+    :class:`~repro.runtime.resilience.FakeClock` (no real backoff sleeps),
+    and compares the merged division against a clean run of the same egos.
+    """
+    from repro.core.config import ResilienceConfig
+    from repro.runtime.faultinject import FaultPlan
+    from repro.runtime.resilience import FakeClock
+
+    egos = list(dataset.graph.nodes())
+    if max_egos is not None:
+        egos = egos[:max_egos]
+
+    resilience = ResilienceConfig(
+        max_attempts=3,
+        on_shard_failure=on_shard_failure,
+        shard_timeout=shard_timeout,
+        seed=seed,
+    )
+    plan = FaultPlan.random(
+        list(range(num_shards)),
+        seed=seed,
+        fault_rate=fault_rate,
+        max_attempts=resilience.max_attempts,
+        kinds=kinds,
+    )
+    faulted = ShardedDivisionExecutor(
+        num_shards=num_shards,
+        num_workers=num_workers,
+        detector=detector,
+        resilience=resilience,
+        fault_plan=plan,
+        clock=FakeClock(),
+    ).run(dataset.graph, egos=egos)
+
+    clean = ShardedDivisionExecutor(
+        num_shards=num_shards, num_workers=1, detector=detector
+    ).run(dataset.graph, egos=egos)
+
+    return ChaosReport(
+        num_shards=num_shards,
+        completed_shards=len(faulted.shard_reports),
+        failed_shards=[item.shard_id for item in faulted.failed_shards],
+        injected_faults=len(plan),
+        total_retries=faulted.total_retries,
+        total_timeouts=faulted.total_timeouts,
+        pool_rebuilds=faulted.pool_rebuilds,
+        degraded_to_serial=faulted.degraded_to_serial,
+        identical_to_clean=(
+            faulted.division.communities_by_ego == clean.division.communities_by_ego
+        ),
+    )
+
+
 def measure_worker_scaling(
     dataset: SocialNetworkDataset,
     worker_counts: list[int] = (1, 2, 4),

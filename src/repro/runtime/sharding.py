@@ -46,7 +46,7 @@ def shard_nodes(
     """
     if num_shards < 1:
         raise PipelineError("num_shards must be >= 1")
-    nodes = list(nodes)
+    nodes = _dedupe(nodes)
     if strategy == "round_robin":
         buckets: list[list[Node]] = [[] for _ in range(num_shards)]
         for index, node in enumerate(nodes):
@@ -62,6 +62,51 @@ def shard_nodes(
         Shard(shard_id=shard_id, egos=tuple(bucket))
         for shard_id, bucket in enumerate(buckets)
     ]
+
+
+def _dedupe(nodes: Sequence[Node]) -> list[Node]:
+    """Drop duplicate nodes, preserving first-occurrence order.
+
+    A node sharded twice would be processed twice and then poison the merge
+    (``DivisionResult.merge`` rejects egos present in two shards), so the
+    assignment layer removes duplicates up front.
+    """
+    seen: set[Node] = set()
+    unique: list[Node] = []
+    for node in nodes:
+        if node not in seen:
+            seen.add(node)
+            unique.append(node)
+    return unique
+
+
+def validate_shards(shards: Sequence[Shard], drop_empty: bool = True) -> list[Shard]:
+    """Integrity-check a shard list before submission to the executor.
+
+    Raises :class:`~repro.exceptions.PipelineError` on duplicate shard ids or
+    on an ego assigned to more than one shard — both would corrupt the merge
+    silently (last-writer-wins report rows, double-processed egos).  With
+    ``drop_empty`` (the default) shards with no egos are removed, so the
+    executor never pays submission/checkpoint overhead for no-op tasks.
+    """
+    seen_ids: set[int] = set()
+    seen_egos: set[Node] = set()
+    valid: list[Shard] = []
+    for shard in shards:
+        if shard.shard_id in seen_ids:
+            raise PipelineError(f"duplicate shard id {shard.shard_id}")
+        seen_ids.add(shard.shard_id)
+        for ego in shard.egos:
+            if ego in seen_egos:
+                raise PipelineError(
+                    f"ego {ego!r} assigned to more than one shard "
+                    f"(second occurrence in shard {shard.shard_id})"
+                )
+            seen_egos.add(ego)
+        if shard.size == 0 and drop_empty:
+            continue
+        valid.append(shard)
+    return valid
 
 
 def shard_by_degree(graph: Graph, num_shards: int) -> list[Shard]:

@@ -69,6 +69,22 @@ def test_lint_job_runs_ruff(workflow):
     assert format_steps and format_steps[0].get("continue-on-error") is True
 
 
+def test_every_job_has_a_timeout(workflow):
+    # A hung worker (the exact regression the resilience layer guards
+    # against) must not wedge CI: every job carries an explicit bound.
+    for name, job in workflow["jobs"].items():
+        minutes = job.get("timeout-minutes")
+        assert isinstance(minutes, int) and 0 < minutes <= 60, (
+            f"job {name!r} must set a sane timeout-minutes, got {minutes!r}"
+        )
+
+
+def test_full_suite_runs_chaos_gate(workflow):
+    run = _steps_text(workflow["jobs"]["full-suite"])
+    assert "tests/test_resilience.py" in run  # fault-injection suite
+    assert "repro.cli chaos" in run  # seeded end-to-end chaos run
+
+
 def test_jobs_use_pip_caching(workflow):
     for name in ("tests", "full-suite", "perf-gate"):
         setup_steps = [

@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import DatasetError
+from repro.exceptions import (
+    DatasetError,
+    DuplicateEdgeError,
+    GraphError,
+    MalformedLineError,
+    NonFiniteWeightError,
+)
 from repro.graph import (
     Graph,
     InteractionStore,
@@ -53,6 +59,56 @@ class TestEdgeListIO:
         graph = read_edge_list(path, node_type=str)
         assert graph.has_edge("a", "b")
 
+    def test_malformed_line_names_line_number(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("1 2\nnot-an-int 3\n")
+        with pytest.raises(MalformedLineError) as info:
+            read_edge_list(path)
+        assert info.value.lineno == 2
+        assert str(path) in str(info.value)
+
+    def test_self_loop_is_malformed(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("5 5\n")
+        with pytest.raises(MalformedLineError):
+            read_edge_list(path)
+
+    def test_duplicate_edge_raises_either_orientation(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("1 2\n2 1\n")
+        with pytest.raises(DuplicateEdgeError) as info:
+            read_edge_list(path)
+        assert info.value.lineno == 2
+
+    def test_weight_column_validated(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("1 2 0.5\n2 3 nan\n")
+        with pytest.raises(NonFiniteWeightError) as info:
+            read_edge_list(path)
+        assert info.value.lineno == 2
+        path.write_text("1 2 heavy\n")
+        with pytest.raises(MalformedLineError):
+            read_edge_list(path)
+
+    def test_on_error_skip_drops_bad_lines(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("1 2\nbroken\n2 3 0.7\n1 2\n3 4 inf\n")
+        graph = read_edge_list(path, on_error="skip")
+        # Kept: 1-2 and weighted 2-3.  Dropped: short line, duplicate 1-2,
+        # non-finite 3-4.
+        assert sorted(map(sorted, graph.edges())) == [[1, 2], [2, 3]]
+        with pytest.raises(DatasetError):
+            read_edge_list(path, on_error="quarantine")
+
+    def test_errors_are_both_graph_and_dataset_errors(self, tmp_path):
+        # Back-compat: callers catching the old DatasetError still work.
+        path = tmp_path / "edges.tsv"
+        path.write_text("justonetoken\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
 
 class TestLabeledEdgeIO:
     def test_round_trip(self, tmp_path):
@@ -77,6 +133,19 @@ class TestLabeledEdgeIO:
         path.write_text("1\t2\n")
         with pytest.raises(DatasetError):
             read_labeled_edges(path)
+
+    def test_duplicate_labeled_edge_raises(self, tmp_path):
+        path = tmp_path / "labels.tsv"
+        path.write_text("1\t2\tFAMILY\n2\t1\tCOLLEAGUE\n")
+        with pytest.raises(DuplicateEdgeError) as info:
+            read_labeled_edges(path)
+        assert info.value.lineno == 2
+
+    def test_on_error_skip_drops_bad_labeled_lines(self, tmp_path):
+        path = tmp_path / "labels.tsv"
+        path.write_text("1\t2\tFAMILY\nx\nnope\t3\tNOT_A_TYPE\n2\t3\tSCHOOLMATE\n")
+        loaded = read_labeled_edges(path, on_error="skip")
+        assert [item.edge for item in loaded] == [(1, 2), (2, 3)]
 
 
 class TestDatasetJson:
