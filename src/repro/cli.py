@@ -13,6 +13,10 @@ Four subcommands cover the common workflows without writing any Python:
   sharded Phase I executor under a seeded fault-injection schedule
   (transient errors, timeouts, simulated worker kills) and exit non-zero
   unless the merged division is bit-identical to a clean run.
+* ``locec-repro lint`` — run the repo-native invariant lint engine
+  (:mod:`repro.lint`): determinism, backend-parity coverage,
+  multiprocessing safety and NumPy hygiene rules; exits non-zero on any
+  finding.
 
 The CLI is also reachable as ``python -m repro.cli``.
 """
@@ -99,6 +103,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=80,
         help="limit Phase I to the first N egos (default: 80)",
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the invariant lint engine (repro.lint) over the repository",
+    )
+    lint_parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root to lint (default: auto-detected)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=["text", "json"],
+        help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
     return parser
 
 
@@ -163,6 +194,22 @@ def _command_chaos(
     return 0 if report.identical_to_clean and not report.failed_shards else 1
 
 
+def _command_lint(
+    root: str | None, output_format: str, rules: str | None, list_rules: bool
+) -> int:
+    from repro.lint.engine import main as lint_main
+
+    argv: list[str] = []
+    if list_rules:
+        argv.append("--list-rules")
+    if root is not None:
+        argv.extend(["--root", root])
+    argv.extend(["--format", output_format])
+    if rules:
+        argv.extend(["--rules", rules])
+    return lint_main(argv)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -172,6 +219,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_run(args.experiment, args.scale, args.seed)
     if args.command == "generate":
         return _command_generate(args.output, args.scale, args.seed)
+    if args.command == "lint":
+        return _command_lint(
+            args.root, args.output_format, args.rules, args.list_rules
+        )
     if args.command == "chaos":
         return _command_chaos(
             args.scale,

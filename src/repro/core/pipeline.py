@@ -18,12 +18,12 @@ Typical usage::
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.clock import Clock, SystemClock
 from repro.core.aggregation import FeatureMatrixBuilder
 from repro.core.combination import (
     AgreementEdgeLabeler,
@@ -97,9 +97,14 @@ class LoCEC:
         :meth:`LoCECConfig.locec_xgb` build the two published variants.
     """
 
-    def __init__(self, config: LoCECConfig | None = None) -> None:
+    def __init__(
+        self, config: LoCECConfig | None = None, clock: Clock | None = None
+    ) -> None:
         self.config = config or LoCECConfig()
         self.config.validate()
+        # Phase timings route through the injectable clock so the zero-sleep
+        # test tier can drive fit() under virtual time (FakeClock).
+        self._clock = clock or SystemClock()
         self.division_: DivisionResult | None = None
         self.community_classifier_: CommunityClassifier | None = None
         self.edge_labeler_: EdgeLabeler | None = None
@@ -142,7 +147,7 @@ class LoCEC:
         summary = FitSummary()
 
         # Phase I: division.
-        start = time.perf_counter()
+        start = self._clock.perf_counter()
         if division is None:
             division = divide(
                 graph,
@@ -151,12 +156,12 @@ class LoCEC:
                 backend=self.config.backend,
             )
         self.division_ = division
-        summary.timings.division = time.perf_counter() - start
+        summary.timings.division = self._clock.perf_counter() - start
         summary.num_egos = division.num_egos
         summary.num_communities = division.num_communities
 
         # Phase II: aggregation + community classification.
-        start = time.perf_counter()
+        start = self._clock.perf_counter()
         self.feature_builder_ = FeatureMatrixBuilder(
             features=features,
             interactions=interactions,
@@ -178,10 +183,10 @@ class LoCEC:
 
         all_communities = list(division.all_communities())
         result_vectors = self._compute_result_vectors(all_communities)
-        summary.timings.aggregation = time.perf_counter() - start
+        summary.timings.aggregation = self._clock.perf_counter() - start
 
         # Phase III: combination.
-        start = time.perf_counter()
+        start = self._clock.perf_counter()
         self.edge_feature_builder_ = EdgeFeatureBuilder(
             division=division,
             result_vectors=result_vectors,
@@ -199,7 +204,7 @@ class LoCEC:
             seed=self.config.seed,
         )
         self.edge_labeler_.fit(train_edges, train_labels)
-        summary.timings.combination = time.perf_counter() - start
+        summary.timings.combination = self._clock.perf_counter() - start
 
         self.fit_summary_ = summary
         return self

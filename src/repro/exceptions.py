@@ -13,11 +13,38 @@ class ReproError(Exception):
     """Base class for every error raised by this library."""
 
 
+def _rebuild_exception(
+    cls: "type[BaseException]", state: dict, args: tuple
+) -> BaseException:
+    """Unpickle helper for exceptions whose ``__init__`` signature does not
+    match ``args`` — rebuilds the instance without re-running ``__init__`` so
+    errors survive the trip back from worker processes."""
+    exc = cls.__new__(cls)
+    exc.args = args
+    exc.__dict__.update(state)
+    return exc
+
+
+class _PicklableErrorMixin:
+    """Gives an exception a signature-independent pickle round-trip.
+
+    ``BaseException.__reduce__`` replays ``__init__(*self.args)``, and
+    ``args`` holds the *formatted message*, not the constructor arguments —
+    so any exception with a custom ``__init__`` signature either fails to
+    unpickle or rebuilds garbled.  Every such class must carry this mixin
+    (lint rule ``MP002`` enforces it): the shard runtime ships exceptions
+    across process boundaries as first-class results.
+    """
+
+    def __reduce__(self) -> "tuple":  # type: ignore[override]
+        return (_rebuild_exception, (type(self), self.__dict__, self.args))
+
+
 class GraphError(ReproError):
     """Base class for errors raised by the graph substrate."""
 
 
-class NodeNotFoundError(GraphError, KeyError):
+class NodeNotFoundError(_PicklableErrorMixin, GraphError, KeyError):
     """A referenced node does not exist in the graph."""
 
     def __init__(self, node: object) -> None:
@@ -25,7 +52,7 @@ class NodeNotFoundError(GraphError, KeyError):
         self.node = node
 
 
-class EdgeNotFoundError(GraphError, KeyError):
+class EdgeNotFoundError(_PicklableErrorMixin, GraphError, KeyError):
     """A referenced edge does not exist in the graph."""
 
     def __init__(self, u: object, v: object) -> None:
@@ -33,7 +60,7 @@ class EdgeNotFoundError(GraphError, KeyError):
         self.edge = (u, v)
 
 
-class SelfLoopError(GraphError, ValueError):
+class SelfLoopError(_PicklableErrorMixin, GraphError, ValueError):
     """An operation attempted to add a self-loop, which the model forbids."""
 
     def __init__(self, node: object) -> None:
@@ -49,7 +76,7 @@ class CommunityError(ReproError):
     """Errors raised by the community-detection algorithms."""
 
 
-class NotFittedError(ReproError, RuntimeError):
+class NotFittedError(_PicklableErrorMixin, ReproError, RuntimeError):
     """An estimator was used before being fitted."""
 
     def __init__(self, estimator: object = None) -> None:
@@ -85,23 +112,6 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """Errors raised by the experiment harness."""
-
-
-def _rebuild_exception(cls: type, state: dict, args: tuple):
-    """Unpickle helper for exceptions whose ``__init__`` signature does not
-    match ``args`` — rebuilds the instance without re-running ``__init__`` so
-    errors survive the trip back from worker processes."""
-    exc = cls.__new__(cls)
-    exc.args = args
-    exc.__dict__.update(state)
-    return exc
-
-
-class _PicklableErrorMixin:
-    """Gives an exception a signature-independent pickle round-trip."""
-
-    def __reduce__(self):
-        return (_rebuild_exception, (type(self), self.__dict__, self.args))
 
 
 # --------------------------------------------------------------- graph IO

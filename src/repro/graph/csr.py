@@ -199,14 +199,14 @@ class CSRGraph:
             return CSRGraph(np.zeros(1, np.int32), np.empty(0, np.int32), labels)
         starts = self.indptr[keep]
         ends = self.indptr[keep + 1]
-        counts = (ends - starts).astype(np.int64)
+        counts = (ends - starts).astype(np.int64, copy=False)
         cat = _gather_rows(self.indices, starts, ends)
         seg = np.repeat(np.arange(keep.size), counts)
         local, valid = _sorted_membership(keep, cat)
         seg, local = seg[valid], local[valid]
         indptr = np.zeros(keep.size + 1, dtype=np.int32)
         np.cumsum(np.bincount(seg, minlength=keep.size), out=indptr[1:])
-        return CSRGraph(indptr, local.astype(np.int32), labels)
+        return CSRGraph(indptr, local.astype(np.int32, copy=False), labels)
 
     # -------------------------------------------------------------- dunder
     def __contains__(self, node: Node) -> bool:
@@ -319,7 +319,7 @@ def dense_ego_net(csr: CSRGraph, ego: Node) -> DenseEgoNet:
     if k > 0:
         starts = csr.indptr[friends]
         ends = csr.indptr[friends + 1]
-        counts = (ends - starts).astype(np.int64)
+        counts = (ends - starts).astype(np.int64, copy=False)
         cat = _gather_rows(csr.indices, starts, ends)
         seg = np.repeat(np.arange(k), counts)
         local, valid = _sorted_membership(friends, cat)
@@ -437,7 +437,7 @@ def edge_betweenness_csr(graph: Graph | CSRGraph) -> dict[Edge, float]:
     csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_graph(graph)
     n = csr.num_nodes
     adjacency = np.zeros((n, n), dtype=np.float64)
-    row_ids = np.repeat(np.arange(n), np.diff(csr.indptr).astype(np.int64))
+    row_ids = np.repeat(np.arange(n), np.diff(csr.indptr).astype(np.int64, copy=False))
     adjacency[row_ids, csr.indices] = 1.0
     eu, ev = np.nonzero(np.triu(adjacency, 1))
     if eu.size == 0:
@@ -996,7 +996,7 @@ def girvan_newman_csr(
     graph: Graph | CSRGraph,
     max_communities: int | None = None,
     min_community_size: int = 1,
-):
+) -> "GirvanNewmanResult":
     """Vectorized drop-in for :func:`repro.community.girvan_newman.girvan_newman`."""
     from repro.community.girvan_newman import GirvanNewmanResult
 
@@ -1018,7 +1018,7 @@ def _whole_graph_as_ego_net(csr: CSRGraph) -> DenseEgoNet:
     n = csr.num_nodes
     adjacency = np.zeros((n, n), dtype=np.float64)
     if n:
-        row_ids = np.repeat(np.arange(n), np.diff(csr.indptr).astype(np.int64))
+        row_ids = np.repeat(np.arange(n), np.diff(csr.indptr).astype(np.int64, copy=False))
         adjacency[row_ids, csr.indices] = 1.0
     eu, ev = np.nonzero(np.triu(adjacency, 1))
     if csr._source is not None:
@@ -1101,7 +1101,7 @@ def community_tightness_csr(
         return {csr.label_of(int(members[0])): 1.0}
     starts = csr.indptr[members]
     ends = csr.indptr[members + 1]
-    counts = (ends - starts).astype(np.int64)
+    counts = (ends - starts).astype(np.int64, copy=False)
     cat = _gather_rows(csr.indices, starts, ends)
     seg = np.repeat(np.arange(size), counts)
     _, valid = _sorted_membership(members, cat)
@@ -1174,8 +1174,8 @@ def louvain_communities_csr(
         return tuple(frozenset([node]) for node in nodes0)
 
     if csr is not None:
-        indptr = csr.indptr.astype(np.int64)
-        indices = csr.indices.astype(np.int64)
+        indptr = csr.indptr.astype(np.int64, copy=False)
+        indices = csr.indices.astype(np.int64, copy=False)
     else:
         index = {node: i for i, node in enumerate(nodes0)}
         degrees = np.fromiter(
@@ -1296,4 +1296,4 @@ def _louvain_aggregate(
     new_rows, new_cols = np.nonzero(dense)
     new_indptr = np.zeros(k + 1, dtype=np.int64)
     np.cumsum(np.bincount(new_rows, minlength=k), out=new_indptr[1:])
-    return new_indptr, new_cols.astype(np.int64), dense[new_rows, new_cols], new_contents
+    return new_indptr, new_cols.astype(np.int64, copy=False), dense[new_rows, new_cols], new_contents

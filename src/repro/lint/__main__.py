@@ -1,0 +1,10 @@
+"""``python -m repro.lint`` — run the invariant lint engine."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lint.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Text and JSON reporters for lint results.
+
+The text format is the ``path:line:col: RULE message`` convention every
+editor and CI annotator understands; the JSON format is a stable,
+schema-versioned document for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.engine import LintResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: "LintResult") -> str:
+    lines = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule_id} {finding.message}"
+        )
+    for error in result.parse_errors:
+        lines.append(f"error: could not parse {error}")
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    lines.append(
+        f"{len(result.findings)} {noun} in {result.files_checked} file(s) "
+        f"({result.rules_run} rule(s))"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: "LintResult") -> str:
+    document = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "rules_run": result.rules_run,
+        "parse_errors": list(result.parse_errors),
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

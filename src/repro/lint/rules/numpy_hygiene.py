@@ -1,0 +1,282 @@
+"""NumPy hygiene rules: hidden copies, object dtype, float64 promotion.
+
+The kernel layers (``graph/csr.py``, ``graph/phase2.py``, ``ml/``) are
+memory-bandwidth-bound; an accidental extra copy of an index array is a
+measurable regression, and an object-dtype array silently de-vectorizes a
+whole pipeline stage.  These rules flag the allocation patterns that have
+bitten (or nearly bitten) past PRs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.core import Finding, ModuleContext, Rule, iter_calls, register
+
+#: ``np.<fn>`` calls that always return a fresh ndarray — wrapping one in
+#: ``np.array(...)`` is a guaranteed second copy.
+ARRAY_RETURNING_NP_FUNCTIONS = frozenset(
+    {
+        "arange",
+        "argsort",
+        "array",
+        "asarray",
+        "ascontiguousarray",
+        "bincount",
+        "column_stack",
+        "concatenate",
+        "cumprod",
+        "cumsum",
+        "diff",
+        "empty",
+        "empty_like",
+        "frombuffer",
+        "fromiter",
+        "full",
+        "full_like",
+        "hstack",
+        "lexsort",
+        "linspace",
+        "logspace",
+        "ones",
+        "ones_like",
+        "repeat",
+        "searchsorted",
+        "sort",
+        "stack",
+        "take",
+        "tile",
+        "unique",
+        "vstack",
+        "zeros",
+        "zeros_like",
+    }
+)
+
+#: ndarray methods that return an ndarray; ``np.array(x.astype(...))`` and
+#: friends double-copy.
+ARRAY_RETURNING_METHODS = frozenset(
+    {"astype", "copy", "flatten", "ravel", "reshape", "squeeze", "transpose"}
+)
+
+
+def _is_array_expression(ctx: ModuleContext, node: ast.expr) -> str | None:
+    """If ``node`` is statically known to already be an ndarray, a short
+    description of why; otherwise ``None``."""
+    if isinstance(node, ast.Call):
+        qualified = ctx.qualified_name(node.func)
+        if qualified is not None:
+            parts = qualified.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] == "numpy"
+                and parts[1] in ARRAY_RETURNING_NP_FUNCTIONS
+            ):
+                return f"np.{parts[1]}(...) already returns an ndarray"
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ARRAY_RETURNING_METHODS
+        ):
+            return f".{node.func.attr}(...) already returns an ndarray"
+    return None
+
+
+def _keyword(call: ast.Call, name: str) -> ast.keyword | None:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword
+    return None
+
+
+@register
+class HiddenCopyRule(Rule):
+    rule_id = "NPY001"
+    name = "no-hidden-array-copy"
+    description = (
+        "np.array() wrapped around an expression that is already an "
+        "ndarray makes a hidden copy; use np.asarray or drop the wrapper"
+    )
+    rationale = (
+        "The kernels are bandwidth-bound: one redundant copy of an index "
+        "array is a measurable slowdown at scale."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for call in iter_calls(ctx.tree):
+            qualified = ctx.qualified_name(call.func)
+            if qualified != "numpy.array" or not call.args:
+                continue
+            if _keyword(call, "copy") is not None:
+                continue  # an explicit copy= documents the intent
+            reason = _is_array_expression(ctx, call.args[0])
+            if reason is not None:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=ctx.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"hidden copy: {reason}, so np.array() around it "
+                        "copies again — use np.asarray(...) or drop the "
+                        "wrapper"
+                    ),
+                )
+
+
+@register
+class AstypeCopyRule(Rule):
+    rule_id = "NPY002"
+    name = "explicit-astype-copy"
+    description = (
+        ".astype() defaults to copy=True; pass copy=False (or an explicit "
+        "copy=True when aliasing would be wrong)"
+    )
+    rationale = (
+        ".astype(dtype) copies even when the dtype already matches; "
+        "copy=False makes the no-op case free and the copy case explicit."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for call in iter_calls(ctx.tree):
+            func = call.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "astype"):
+                continue
+            if _keyword(call, "copy") is not None:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.path,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    ".astype() without copy= always copies — pass "
+                    "copy=False unless an independent buffer is required "
+                    "(then say copy=True)"
+                ),
+            )
+
+
+@register
+class ObjectDtypeRule(Rule):
+    rule_id = "NPY003"
+    name = "no-object-dtype"
+    description = (
+        "object-dtype array creation de-vectorizes kernels and hides "
+        "per-element pickling costs"
+    )
+    rationale = (
+        "An object-dtype array is a Python list in disguise: every kernel "
+        "touching it falls off the fast path."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for call in iter_calls(ctx.tree):
+            keyword = _keyword(call, "dtype")
+            if keyword is None:
+                continue
+            if self._is_object_dtype(ctx, keyword.value):
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=ctx.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        "object-dtype array creation — store a typed array "
+                        "(or a plain list) instead"
+                    ),
+                )
+
+    def _is_object_dtype(self, ctx: ModuleContext, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name) and node.id == "object":
+            return True
+        if isinstance(node, ast.Constant) and node.value in ("object", "O"):
+            return True
+        qualified = ctx.qualified_name(node)
+        return qualified in ("numpy.object_", "numpy.object")
+
+
+@register
+class Float32PromotionRule(Rule):
+    rule_id = "NPY004"
+    name = "no-float64-promotion-in-float32-kernels"
+    description = (
+        "inside a float32-annotated kernel, bare float literals and "
+        "np.float64/dtype='float64' promote every downstream array"
+    )
+    rationale = (
+        "One float64 scalar in a float32 kernel doubles the memory "
+        "traffic of everything it touches."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            float32_params = self._float32_params(node)
+            if not float32_params and not self._mentions_float32(node.returns):
+                continue
+            yield from self._check_kernel(ctx, node, float32_params)
+
+    def _mentions_float32(self, annotation: ast.expr | None) -> bool:
+        return annotation is not None and "float32" in ast.dump(annotation)
+
+    def _float32_params(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Set[str]:
+        params: Set[str] = set()
+        for arg in (*node.args.args, *node.args.kwonlyargs, *node.args.posonlyargs):
+            if self._mentions_float32(arg.annotation):
+                params.add(arg.arg)
+        return params
+
+    def _check_kernel(
+        self,
+        ctx: ModuleContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        float32_params: Set[str],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Attribute):
+                qualified = ctx.qualified_name(node)
+                if qualified in ("numpy.float64", "numpy.double"):
+                    yield self._finding(
+                        ctx, node, f"{qualified.replace('numpy', 'np')} used"
+                    )
+            elif isinstance(node, ast.keyword) and node.arg == "dtype":
+                if (
+                    isinstance(node.value, ast.Constant)
+                    and node.value.value == "float64"
+                ):
+                    yield self._finding(ctx, node.value, "dtype='float64'")
+            elif isinstance(node, ast.BinOp):
+                for side, other in (
+                    (node.left, node.right),
+                    (node.right, node.left),
+                ):
+                    if (
+                        isinstance(side, ast.Constant)
+                        and isinstance(side.value, float)
+                        and isinstance(other, ast.Name)
+                        and other.id in float32_params
+                    ):
+                        yield self._finding(
+                            ctx,
+                            node,
+                            f"float literal {side.value!r} in arithmetic "
+                            f"with float32 parameter {other.id!r}",
+                        )
+                        break
+
+    def _finding(self, ctx: ModuleContext, node: ast.AST, what: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=(
+                f"float64 promotion in a float32-annotated kernel: {what} — "
+                "use np.float32 scalars/dtypes to keep the kernel "
+                "single-precision"
+            ),
+        )

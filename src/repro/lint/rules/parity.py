@@ -1,0 +1,186 @@
+"""Parity-contract coverage: every accepted backend literal has a test.
+
+Each ``"…"|"auto"`` knob in this repo carries a bit-exact parity contract:
+the backends behind ``backend=``, ``ml_backend=`` and ``nn_backend=`` must
+produce identical outputs, which only stays true while each accepted literal
+is actually exercised by the test suite.  This project rule cross-references
+two ASTs:
+
+1. **Declarations** — membership-validation sites in the library of the form
+   ``if self.<knob> not in {"auto", "x", "y"}: raise ...``.  Every string in
+   the set is a literal the public entry point accepts.
+2. **Coverage** — the test tree: keyword arguments (``backend="csr"``),
+   attribute/name assignments (``config.backend = "csr"``) and
+   ``pytest.mark.parametrize("backend", [...])`` value lists.
+
+A declared literal with no covering test fails the lint, naming the value
+and the declaration site — so deleting the last ``backend="hist"`` parity
+test turns into a CI failure instead of silent contract rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.core import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    Rule,
+    iter_calls,
+    register,
+)
+
+DEFAULT_KNOBS: Tuple[str, ...] = ("backend", "ml_backend", "nn_backend")
+
+
+@dataclass(frozen=True)
+class KnobLiteral:
+    """One accepted value of one backend knob, at its declaration site."""
+
+    knob: str
+    value: str
+    path: str
+    line: int
+
+
+def _knob_name(node: ast.expr, knobs: Tuple[str, ...]) -> str | None:
+    if isinstance(node, ast.Attribute) and node.attr in knobs:
+        return node.attr
+    if isinstance(node, ast.Name) and node.id in knobs:
+        return node.id
+    return None
+
+
+def _literal_set(node: ast.expr) -> List[str] | None:
+    if not isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        return None
+    values: List[str] = []
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant) and isinstance(element.value, str)
+        ):
+            return None
+        values.append(element.value)
+    return values
+
+
+def _contains_raise(body: List[ast.stmt]) -> bool:
+    return any(isinstance(node, ast.Raise) for stmt in body for node in ast.walk(stmt))
+
+
+def collect_declarations(
+    modules: List[ModuleContext], knobs: Tuple[str, ...]
+) -> List[KnobLiteral]:
+    """Accepted backend literals from validation sites in the library."""
+    declared: Dict[Tuple[str, str], KnobLiteral] = {}
+    for ctx in modules:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.If):
+                continue
+            test = node.test
+            if not (
+                isinstance(test, ast.Compare)
+                and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.NotIn)
+            ):
+                continue
+            knob = _knob_name(test.left, knobs)
+            if knob is None:
+                continue
+            values = _literal_set(test.comparators[0])
+            if values is None or not _contains_raise(node.body):
+                continue
+            for value in values:
+                declared.setdefault(
+                    (knob, value),
+                    KnobLiteral(knob, value, ctx.path, node.lineno),
+                )
+    return sorted(declared.values(), key=lambda d: (d.knob, d.value))
+
+
+def collect_coverage(
+    test_modules: List[ModuleContext], knobs: Tuple[str, ...]
+) -> Tuple[Dict[str, Set[str]], Set[str]]:
+    """Backend literals the test tree exercises.
+
+    Returns ``(by_knob, generic)``: ``by_knob[k]`` holds values passed with
+    the exact keyword ``k=``; ``generic`` holds values passed under any knob
+    spelling (layer-local constructors all call their own knob ``backend``)
+    or via a ``parametrize`` whose argnames mention ``backend``.
+    """
+    by_knob: Dict[str, Set[str]] = {knob: set() for knob in knobs}
+    generic: Set[str] = set()
+    for ctx in test_modules:
+        for call in iter_calls(ctx.tree):
+            for keyword in call.keywords:
+                if keyword.arg in knobs and isinstance(keyword.value, ast.Constant):
+                    value = keyword.value.value
+                    if isinstance(value, str):
+                        by_knob[keyword.arg].add(value)
+                        generic.add(value)
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "parametrize"
+                and len(call.args) >= 2
+                and isinstance(call.args[0], ast.Constant)
+                and isinstance(call.args[0].value, str)
+                and "backend" in call.args[0].value
+            ):
+                values = _literal_set(call.args[1])
+                if values:
+                    generic.update(values)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Constant
+            ):
+                value = node.value.value
+                if not isinstance(value, str):
+                    continue
+                for target in node.targets:
+                    knob = _knob_name(target, knobs)
+                    if knob is not None:
+                        by_knob[knob].add(value)
+                        generic.add(value)
+    return by_knob, generic
+
+
+@register
+class ParityCoverageRule(Rule):
+    rule_id = "PAR001"
+    name = "backend-parity-coverage"
+    description = (
+        "every backend/ml_backend/nn_backend literal accepted by a public "
+        "entry point must be exercised by at least one test"
+    )
+    rationale = (
+        "Bit-exact parity is only as real as the tests that pin it; an "
+        "uncovered backend literal is an unenforced contract."
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        knobs = getattr(project, "backend_knobs", DEFAULT_KNOBS)
+        declared = collect_declarations(project.modules, knobs)
+        by_knob, generic = collect_coverage(project.test_modules, knobs)
+        for literal in declared:
+            if (
+                literal.value in by_knob.get(literal.knob, set())
+                or literal.value in generic
+            ):
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=literal.path,
+                line=literal.line,
+                col=0,
+                message=(
+                    f"backend literal {literal.value!r} (knob "
+                    f"{literal.knob!r}, declared here) is not exercised by "
+                    "any test — add a parity test passing "
+                    f"{literal.knob}={literal.value!r}"
+                ),
+            )

@@ -1,0 +1,59 @@
+"""``# repro-lint: disable=...`` suppression parsing.
+
+Two forms, both comment-based so they survive formatters:
+
+* line suppression — ``some_call()  # repro-lint: disable=DET001`` waives
+  the named rule(s) for findings on that physical line;
+* file suppression — a standalone ``# repro-lint: disable-file=NPY002``
+  comment anywhere in the file waives the rule(s) for the whole file.
+
+Comments are found with :mod:`tokenize` (not a regex over raw lines) so a
+``# repro-lint:`` inside a string literal never counts as a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass
+class SuppressionIndex:
+    """Suppressions of one source file, queryable per (line, rule)."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_wide:
+            return True
+        return rule_id in self.by_line.get(line, set())
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Extract every ``repro-lint`` directive from ``source``."""
+    index = SuppressionIndex()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if not match:
+                continue
+            kind, raw_rules = match.groups()
+            rules = {part.strip() for part in raw_rules.split(",") if part.strip()}
+            if kind == "disable-file":
+                index.file_wide |= rules
+            else:
+                index.by_line.setdefault(token.start[0], set()).update(rules)
+    except tokenize.TokenizeError:  # pragma: no cover - defensive
+        pass
+    return index

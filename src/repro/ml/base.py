@@ -60,7 +60,7 @@ def check_X_y(X: np.ndarray, y: np.ndarray, min_dim: int = 2) -> tuple[np.ndarra
         )
     if X.shape[0] == 0:
         raise DimensionMismatchError("cannot fit on an empty dataset")
-    return X, y.astype(np.int64)
+    return X, y.astype(np.int64, copy=False)
 
 
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:

@@ -60,8 +60,8 @@ def train_test_split_indices(
         test_parts.append(order[:cut])
         train_parts.append(order[cut:])
     return (
-        np.sort(np.concatenate(train_parts)).astype(np.int64),
-        np.sort(np.concatenate(test_parts)).astype(np.int64),
+        np.sort(np.concatenate(train_parts)).astype(np.int64, copy=False),
+        np.sort(np.concatenate(test_parts)).astype(np.int64, copy=False),
     )
 
 

@@ -34,6 +34,10 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (lazy at runtime)
+    from repro.graph.csr import CSRGraph
 
 from repro.core.config import ResilienceConfig
 from repro.core.division import DivisionResult, divide, resolve_backend
@@ -61,7 +65,7 @@ _WORKER_FAULT_PLAN: FaultPlan | None = None
 _WORKER_TIMEOUT: float | None = None
 
 
-def _prepare_graph(graph: Graph, backend: str):
+def _prepare_graph(graph: Graph, backend: str) -> "Graph | CSRGraph":
     """Resolve the backend once per process: CSR snapshots are per-graph,
     not per-shard, so the O(V+E) conversion must not repeat for every task."""
     if resolve_backend(backend) == "csr":
@@ -168,9 +172,13 @@ class ExecutionReport:
 def _process_shard(
     graph: Graph, shard: Shard, detector: str, backend: str = "auto"
 ) -> tuple[int, DivisionResult, float]:
-    start = time.perf_counter()
+    # Worker-side duration measurement: the injectable Clock lives in the
+    # supervisor process and deliberately does not travel to workers (a
+    # FakeClock would report zero-length shards).  Measurement-only — the
+    # division result itself is time-independent.
+    start = time.perf_counter()  # repro-lint: disable=DET001
     division = divide(graph, egos=shard.egos, detector=detector, backend=backend)
-    return shard.shard_id, division, time.perf_counter() - start
+    return shard.shard_id, division, time.perf_counter() - start  # repro-lint: disable=DET001
 
 
 @dataclass
@@ -317,7 +325,7 @@ class ShardedDivisionExecutor:
         return report
 
     # ------------------------------------------------------------- internals
-    def _parent_graph(self, graph: Graph):
+    def _parent_graph(self, graph: Graph) -> "Graph | CSRGraph":
         if self._prepared_graph is None:
             self._prepared_graph = _prepare_graph(graph, self.backend)
         return self._prepared_graph

@@ -29,7 +29,7 @@ import os
 import time
 from dataclasses import dataclass
 from random import Random
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.exceptions import (
     PipelineError,
@@ -54,7 +54,10 @@ class InjectedFaultError(ReproError):
         self.shard_id = shard_id
         self.attempt = attempt
 
-    def __reduce__(self):  # survive the trip back from worker processes
+    def __reduce__(
+        self,
+    ) -> "tuple[type[InjectedFaultError], tuple[int, int]]":
+        # Survive the trip back from worker processes.
         return (type(self), (self.shard_id, self.attempt))
 
 
@@ -103,7 +106,7 @@ class FaultPlan:
     def __len__(self) -> int:
         return len(self._faults)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Fault]":
         return iter(sorted(self._faults.values(),
                            key=lambda f: (f.shard_id, f.attempt)))
 
@@ -167,7 +170,9 @@ class FaultPlan:
             raise PermanentInjectedError(shard_id, attempt)
         if fault.kind == "hang":
             if in_worker:
-                time.sleep(fault.duration)
+                # A *real* stall is the fault being injected: the parent's
+                # future-timeout path only fires against genuine wall time.
+                time.sleep(fault.duration)  # repro-lint: disable=DET001
                 return  # the parent's future timeout decides the task's fate
             stall = fault.duration if timeout is None else max(
                 fault.duration, timeout * 2

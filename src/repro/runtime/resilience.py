@@ -25,10 +25,12 @@ import hashlib
 import os
 import pickle
 import random
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.clock import Clock as Clock
+from repro.clock import FakeClock as FakeClock
+from repro.clock import SystemClock as SystemClock
 from repro.core.division import DivisionResult
 from repro.exceptions import (
     CheckpointError,
@@ -40,48 +42,9 @@ from repro.runtime.sharding import Shard
 
 
 # --------------------------------------------------------------------- clock
-class Clock:
-    """Minimal injectable time source (monotonic seconds + sleep)."""
-
-    def monotonic(self) -> float:
-        raise NotImplementedError
-
-    def sleep(self, seconds: float) -> None:
-        raise NotImplementedError
-
-
-class SystemClock(Clock):
-    """Wall-clock implementation used outside tests."""
-
-    def monotonic(self) -> float:
-        return time.monotonic()
-
-    def sleep(self, seconds: float) -> None:
-        if seconds > 0:
-            time.sleep(seconds)
-
-
-class FakeClock(Clock):
-    """Virtual clock: ``sleep`` advances time instantly and records itself.
-
-    Lets the fast test tier drive every retry/backoff/timeout path without a
-    single real sleep; ``sleeps`` is the audit trail of requested delays.
-    """
-
-    def __init__(self, start: float = 0.0) -> None:
-        self.now = float(start)
-        self.sleeps: list[float] = []
-
-    def monotonic(self) -> float:
-        return self.now
-
-    def sleep(self, seconds: float) -> None:
-        seconds = max(0.0, float(seconds))
-        self.sleeps.append(seconds)
-        self.now += seconds
-
-    def advance(self, seconds: float) -> None:
-        self.now += float(seconds)
+# Clock / SystemClock / FakeClock now live in the dependency-free
+# :mod:`repro.clock` (so core/pipeline code and scripts can inject them
+# without import cycles) and are re-exported above for compatibility.
 
 
 # --------------------------------------------------------------- retry policy

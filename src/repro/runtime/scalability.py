@@ -13,9 +13,9 @@ Combines the two halves of the scalability story:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro.clock import Clock, SystemClock
 from repro.core.aggregation import FeatureMatrixBuilder
 from repro.core.division import divide
 from repro.runtime.cost_model import (
@@ -81,6 +81,7 @@ def measure_phases(
     include_model_kernels: bool = False,
     gbdt_rounds: int = 10,
     cnn_epochs: int = 2,
+    clock: Clock | None = None,
 ) -> MeasuredPhaseTimes:
     """Time the three LoCEC phases on a real (synthetic) dataset.
 
@@ -96,14 +97,17 @@ def measure_phases(
     leaf-value embedding), ``commcnn_tensor`` (CNN input tensor emission),
     ``commcnn_fit`` (a ``cnn_epochs``-epoch CommCNN fit on that tensor) and
     ``commcnn_predict`` (CommCNN probabilities for every community).
+    ``clock`` injects the time source (default :class:`repro.clock.
+    SystemClock`); tests inject a ``FakeClock`` to get deterministic timings.
     """
+    clock = clock or SystemClock()
     egos = list(dataset.graph.nodes())
     if max_egos is not None:
         egos = egos[:max_egos]
 
-    start = time.perf_counter()
+    start = clock.perf_counter()
     division = divide(dataset.graph, egos=egos, detector=detector, backend=backend)
-    phase1_seconds = time.perf_counter() - start
+    phase1_seconds = clock.perf_counter() - start
 
     builder = FeatureMatrixBuilder(
         dataset.features, dataset.interactions, k=k, backend=backend
@@ -114,9 +118,9 @@ def measure_phases(
         # (mirroring scripts/perf_report.py) so phase2_seconds stays a pure
         # per-item cost.
         builder.feature_matrices(communities[:1])
-    start = time.perf_counter()
+    start = clock.perf_counter()
     builder.feature_matrices(communities)
-    phase2_seconds = time.perf_counter() - start
+    phase2_seconds = clock.perf_counter() - start
 
     gbdt_fit_seconds = forest_predict_seconds = commcnn_tensor_seconds = 0.0
     commcnn_fit_seconds = commcnn_predict_seconds = 0.0
@@ -131,33 +135,33 @@ def measure_phases(
         # Deterministic synthetic labels: this times the kernels, it does
         # not evaluate accuracy, so any >=2-class assignment works.
         labels = [index % 3 for index in range(len(communities))]
-        start = time.perf_counter()
+        start = clock.perf_counter()
         model = GradientBoostedClassifier(
             num_rounds=gbdt_rounds, num_classes=3, backend=ml_backend
         ).fit(design, labels)
-        gbdt_fit_seconds = time.perf_counter() - start
+        gbdt_fit_seconds = clock.perf_counter() - start
 
-        start = time.perf_counter()
+        start = clock.perf_counter()
         model.predict_proba(design)
         model.leaf_values(design)
-        forest_predict_seconds = time.perf_counter() - start
+        forest_predict_seconds = clock.perf_counter() - start
 
-        start = time.perf_counter()
+        start = clock.perf_counter()
         tensor = builder.matrices_as_tensor(communities)
-        commcnn_tensor_seconds = time.perf_counter() - start
+        commcnn_tensor_seconds = clock.perf_counter() - start
 
         cnn_config = CommCNNConfig(epochs=cnn_epochs, nn_backend=nn_backend)
         cnn = build_commcnn_classifier(
             k=k, num_columns=builder.num_columns, num_classes=3, config=cnn_config
         )
         cnn_labels = np.asarray(labels, dtype=np.int64)
-        start = time.perf_counter()
+        start = clock.perf_counter()
         cnn.fit(tensor, cnn_labels)
-        commcnn_fit_seconds = time.perf_counter() - start
+        commcnn_fit_seconds = clock.perf_counter() - start
 
-        start = time.perf_counter()
+        start = clock.perf_counter()
         cnn.predict_proba(tensor)
-        commcnn_predict_seconds = time.perf_counter() - start
+        commcnn_predict_seconds = clock.perf_counter() - start
 
     # Phase III per-edge work: Equation 4 assembly is two dictionary lookups
     # plus a concatenation; time it over the edges incident to the processed egos.
@@ -167,11 +171,11 @@ def measure_phases(
         for edge in dataset.graph.edges()
         if edge[0] in processed or edge[1] in processed
     ]
-    start = time.perf_counter()
+    start = clock.perf_counter()
     for u, v in edges:
         division.community_containing(v, u)
         division.community_containing(u, v)
-    phase3_seconds = time.perf_counter() - start
+    phase3_seconds = clock.perf_counter() - start
 
     return MeasuredPhaseTimes(
         num_nodes=len(egos),

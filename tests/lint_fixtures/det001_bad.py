@@ -1,0 +1,15 @@
+"""DET001 fixture: direct wall-clock reads (parsed, never executed)."""
+
+import datetime
+import time
+from time import perf_counter
+
+
+def measure() -> float:
+    start = time.time()
+    time.sleep(0.1)
+    return perf_counter() - start
+
+
+def stamp() -> object:
+    return datetime.datetime.now()

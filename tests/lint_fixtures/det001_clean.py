@@ -1,0 +1,7 @@
+"""DET001 fixture: clock reads routed through an injected Clock."""
+
+
+def measure(clock) -> float:
+    start = clock.perf_counter()
+    clock.sleep(0.1)
+    return clock.perf_counter() - start

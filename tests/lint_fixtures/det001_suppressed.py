@@ -1,0 +1,12 @@
+"""DET001 fixture: wall-clock reads with explicit suppressions."""
+
+import time
+
+
+def sanctioned() -> float:
+    # The one sanctioned read in this fixture's universe.
+    return time.perf_counter()  # repro-lint: disable=DET001
+
+
+def also_sanctioned() -> None:
+    time.sleep(0.1)  # repro-lint: disable=DET001

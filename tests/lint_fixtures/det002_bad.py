@@ -1,0 +1,10 @@
+"""DET002 fixture: hidden-global-state RNG draws (parsed, never executed)."""
+
+import random
+
+import numpy as np
+
+
+def sample(items: list) -> list:
+    random.shuffle(items)
+    return [random.random(), np.random.rand(3), np.random.randint(0, 10)]

@@ -1,0 +1,12 @@
+"""DET002 fixture: seeded RNG instances only."""
+
+import random
+
+import numpy as np
+
+
+def sample(items: list, seed: int) -> list:
+    rng = random.Random(seed)
+    rng.shuffle(items)
+    generator = np.random.default_rng(seed)
+    return [rng.random(), generator.random(3)]

@@ -1,0 +1,12 @@
+# repro-lint: disable-file=DET002
+"""DET002 fixture: global RNG silenced by a file-wide directive."""
+
+import random
+
+
+def sample() -> float:
+    return random.random()
+
+
+def roll() -> int:
+    return random.randint(1, 6)

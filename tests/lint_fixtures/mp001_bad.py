@@ -1,0 +1,11 @@
+"""MP001 fixture: unpicklable callables shipped to executors."""
+
+
+def run_all(executor, shards: list) -> list:
+    futures = [executor.submit(lambda shard: shard + 1, shard) for shard in shards]
+
+    def process(shard):
+        return shard * 2
+
+    results = list(executor.map(process, shards))
+    return futures + results

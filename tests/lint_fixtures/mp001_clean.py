@@ -1,0 +1,10 @@
+"""MP001 fixture: only module-level callables go to the executor."""
+
+
+def process(shard):
+    return shard * 2
+
+
+def run_all(executor, shards: list) -> list:
+    futures = [executor.submit(process, shard) for shard in shards]
+    return futures + list(executor.map(process, shards))

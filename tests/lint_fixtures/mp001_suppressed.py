@@ -1,0 +1,10 @@
+"""MP001 fixture: a lambda to a *thread* pool, explicitly waved through."""
+
+
+def run_all(thread_executor, shards: list) -> list:
+    # Thread pools do not pickle their callables; the rule cannot tell
+    # thread from process pools, so the call site says so.
+    return [
+        thread_executor.submit(lambda shard: shard + 1, shard)  # repro-lint: disable=MP001
+        for shard in shards
+    ]

@@ -1,0 +1,8 @@
+"""MP002 fixture: custom-signature exception without __reduce__."""
+
+
+class ShardError(ValueError):
+    def __init__(self, shard_id: int, detail: str) -> None:
+        super().__init__(f"shard {shard_id}: {detail}")
+        self.shard_id = shard_id
+        self.detail = detail

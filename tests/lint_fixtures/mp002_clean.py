@@ -1,0 +1,23 @@
+"""MP002 fixture: custom-signature exceptions that pickle correctly."""
+
+
+def _rebuild(cls, state, args):
+    exc = cls.__new__(cls)
+    exc.args = args
+    exc.__dict__.update(state)
+    return exc
+
+
+class PicklableMixin:
+    def __reduce__(self):
+        return (_rebuild, (type(self), self.__dict__, self.args))
+
+
+class ShardError(PicklableMixin, ValueError):
+    def __init__(self, shard_id: int, detail: str) -> None:
+        super().__init__(f"shard {shard_id}: {detail}")
+        self.shard_id = shard_id
+
+
+class PlainError(RuntimeError):
+    """No custom __init__ — the default reduce round-trips fine."""

@@ -1,0 +1,9 @@
+"""MP002 fixture: a supervisor-only exception, explicitly waved through."""
+
+
+class SupervisorOnlyError(ValueError):  # repro-lint: disable=MP002
+    """Raised and caught in the supervisor process; never crosses pickle."""
+
+    def __init__(self, code: int) -> None:
+        super().__init__(f"supervisor error {code}")
+        self.code = code

@@ -1,0 +1,10 @@
+"""NPY001 fixture: np.array() wrapped around expressions already ndarray."""
+
+import numpy as np
+
+
+def build(raw) -> tuple:
+    indices = np.array(np.arange(10))
+    widened = np.array(raw.astype(np.int64, copy=False))
+    merged = np.array(np.concatenate([indices, widened]))
+    return indices, widened, merged

@@ -1,0 +1,11 @@
+"""NPY001 fixture: no redundant wrapping."""
+
+import numpy as np
+
+
+def build(raw) -> tuple:
+    indices = np.arange(10)
+    from_list = np.array([1, 2, 3])
+    aliased = np.asarray(raw)
+    documented = np.array(np.arange(4), copy=True)
+    return indices, from_list, aliased, documented

@@ -1,0 +1,8 @@
+"""NPY001 fixture: a deliberate defensive copy, waved through."""
+
+import numpy as np
+
+
+def snapshot(live_view) -> object:
+    # Deliberate copy: live_view aliases a buffer mutated by the caller.
+    return np.array(live_view.ravel())  # repro-lint: disable=NPY001

@@ -1,0 +1,9 @@
+"""NPY002 fixture: .astype() without an explicit copy= keyword."""
+
+import numpy as np
+
+
+def widen(values) -> tuple:
+    as_int = values.astype(np.int64)
+    as_float = values.astype("float32")
+    return as_int, as_float

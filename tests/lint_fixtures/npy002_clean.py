@@ -1,0 +1,9 @@
+"""NPY002 fixture: every .astype() states its copy semantics."""
+
+import numpy as np
+
+
+def widen(values) -> tuple:
+    aliasable = values.astype(np.int64, copy=False)
+    independent = values.astype("float32", copy=True)
+    return aliasable, independent

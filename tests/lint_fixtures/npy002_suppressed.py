@@ -1,0 +1,7 @@
+"""NPY002 fixture: an .astype() call waved through."""
+
+import numpy as np
+
+
+def widen(values) -> object:
+    return values.astype(np.int64)  # repro-lint: disable=NPY002

@@ -1,0 +1,10 @@
+"""NPY003 fixture: object-dtype array creation."""
+
+import numpy as np
+
+
+def build(mixed: list) -> tuple:
+    slots = np.empty(4, dtype=object)
+    packed = np.array(mixed, dtype="O")
+    typed = np.zeros(2, dtype=np.object_)
+    return slots, packed, typed

@@ -1,0 +1,9 @@
+"""NPY003 fixture: typed arrays only."""
+
+import numpy as np
+
+
+def build(values: list) -> tuple:
+    indices = np.empty(4, dtype=np.int64)
+    weights = np.array(values, dtype="float32")
+    return indices, weights

@@ -1,0 +1,9 @@
+"""NPY003 fixture: a ragged-payload staging array, waved through."""
+
+import numpy as np
+
+
+def stage(ragged_rows: list) -> object:
+    # Ragged rows cannot be a rectangular typed array; this staging buffer
+    # never reaches a kernel.
+    return np.array(ragged_rows, dtype=object)  # repro-lint: disable=NPY003

@@ -1,0 +1,9 @@
+"""NPY004 fixture: float64 promotion inside a float32-annotated kernel."""
+
+import numpy as np
+
+
+def scale(values: "np.ndarray", alpha: "np.float32") -> "np.ndarray":
+    bias = np.zeros(3, dtype="float64")
+    big = np.float64(1.5)
+    return values * (alpha * 2.0) + bias.sum() + big

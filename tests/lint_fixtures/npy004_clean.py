@@ -1,0 +1,9 @@
+"""NPY004 fixture: a float32 kernel that stays single-precision."""
+
+import numpy as np
+
+
+def scale(values: "np.ndarray", alpha: "np.float32") -> "np.ndarray":
+    bias = np.zeros(3, dtype="float32")
+    two = np.float32(2.0)
+    return values * (alpha * two) + bias.sum()

@@ -1,0 +1,9 @@
+"""NPY004 fixture: a deliberate float64 accumulator, waved through."""
+
+import numpy as np
+
+
+def accumulate(values: "np.ndarray", weight: "np.float32") -> float:
+    # Kahan-style accumulation deliberately runs in float64 for accuracy.
+    total = np.float64(0.0)  # repro-lint: disable=NPY004
+    return float(total + values.sum() * weight)

@@ -1,0 +1,7 @@
+"""PAR001 fixture: a public entry point accepting two backend literals."""
+
+
+def make_solver(backend: str = "alpha"):
+    if backend not in {"alpha", "beta"}:
+        raise ValueError(f"unknown backend {backend!r}; choose alpha or beta")
+    return backend

@@ -1,0 +1,11 @@
+"""PAR001 fixture: a test module exercising every declared literal."""
+
+from par001_src import make_solver
+
+
+def check_alpha():
+    assert make_solver(backend="alpha") == "alpha"
+
+
+def check_beta():
+    assert make_solver(backend="beta") == "beta"

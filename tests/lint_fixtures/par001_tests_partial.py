@@ -1,0 +1,7 @@
+"""PAR001 fixture: the ``beta`` parity test has been deleted."""
+
+from par001_src import make_solver
+
+
+def check_alpha():
+    assert make_solver(backend="alpha") == "alpha"

@@ -4,8 +4,9 @@ There is no `act` in the test environment, so this is the executable stand-in:
 the workflow must parse as YAML and carry the structure the repo's gates
 depend on — a test matrix across supported Pythons, a full-suite job that
 includes the ``slow`` tier, a perf job wired to ``perf_report.py``'s ratio
-gate, and a ruff lint job.  A refactor that silently drops one of the gates
-fails here instead of on the first broken PR.
+gate, a ruff lint job, and a static-analysis job running the repo-native
+invariant lint engine plus the typed-core mypy gate.  A refactor that
+silently drops one of the gates fails here instead of on the first broken PR.
 """
 
 from __future__ import annotations
@@ -69,6 +70,54 @@ def test_lint_job_runs_ruff(workflow):
     assert format_steps and format_steps[0].get("continue-on-error") is True
 
 
+def test_static_analysis_job_runs_invariant_lint(workflow):
+    job = workflow["jobs"]["static-analysis"]
+    run = _steps_text(job)
+    assert "python -m repro.lint" in run
+    lint_steps = [
+        step for step in job["steps"] if "repro.lint" in str(step.get("run", ""))
+    ]
+    # Blocking: the lint step must not be marked continue-on-error.
+    assert lint_steps and not lint_steps[0].get("continue-on-error")
+
+
+def test_static_analysis_job_runs_typed_core_mypy(workflow):
+    job = workflow["jobs"]["static-analysis"]
+    run = _steps_text(job)
+    assert "mypy" in run
+    assert "src/repro" in run
+    mypy_steps = [
+        step for step in job["steps"] if "mypy" in str(step.get("run", ""))
+    ]
+    # Blocking: the mypy gate must not be marked continue-on-error.
+    assert mypy_steps and not mypy_steps[0].get("continue-on-error")
+    install = " ".join(
+        str(step.get("run", ""))
+        for step in job["steps"]
+        if "pip install" in str(step.get("run", ""))
+    )
+    assert "mypy" in install and "numpy" in install
+
+
+def test_typed_core_mypy_config_is_strict(workflow):
+    # The strict scope lives in pyproject.toml; the CI step just runs
+    # `mypy src/repro`.  Validate the config names the typed core and turns
+    # on disallow_untyped_defs for it.
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python 3.10
+        pytest.skip("tomllib unavailable")
+    pyproject = WORKFLOW_PATH.parent.parent.parent / "pyproject.toml"
+    config = tomllib.loads(pyproject.read_text())
+    overrides = config["tool"]["mypy"]["overrides"]
+    strict = [o for o in overrides if o.get("disallow_untyped_defs")]
+    assert strict, "pyproject.toml must carry a strict typed-core override"
+    modules = strict[0]["module"]
+    for required in ("repro.runtime.*", "repro.graph.csr", "repro.graph.phase2"):
+        assert required in modules
+    assert strict[0].get("ignore_errors") is False
+
+
 def test_every_job_has_a_timeout(workflow):
     # A hung worker (the exact regression the resilience layer guards
     # against) must not wedge CI: every job carries an explicit bound.
@@ -86,7 +135,7 @@ def test_full_suite_runs_chaos_gate(workflow):
 
 
 def test_jobs_use_pip_caching(workflow):
-    for name in ("tests", "full-suite", "perf-gate"):
+    for name in ("tests", "full-suite", "perf-gate", "static-analysis"):
         setup_steps = [
             step
             for step in workflow["jobs"][name]["steps"]
