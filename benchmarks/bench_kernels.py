@@ -9,9 +9,11 @@ speed contest.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import replace
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import run_once
 from repro.community.betweenness import edge_betweenness
@@ -21,6 +23,7 @@ from repro.core.config import CommCNNConfig
 from repro.core.division import divide
 from repro.graph.csr import CSRGraph, edge_betweenness_csr, ego_network_csr
 from repro.graph.ego import ego_network
+from repro.graph.shm import SharedCSRGraph, shm_supported
 from repro.ml.gbdt import GradientBoostedClassifier
 
 
@@ -59,6 +62,35 @@ def test_phase1_division_csr(benchmark, bench_workload):
     result = run_once(benchmark, lambda: divide(graph, backend="csr"))
     reference = bench_workload.division()
     assert result.num_communities == reference.num_communities
+
+
+def test_graph_transport_pickle(benchmark, bench_workload):
+    """Per-worker graph receive cost under pickle transport: a full copy."""
+    graph = bench_workload.dataset.graph
+    payload = pickle.dumps(graph, pickle.HIGHEST_PROTOCOL)
+    received = run_once(benchmark, lambda: pickle.loads(payload))
+    assert list(received.nodes()) == list(graph.nodes())
+
+
+def test_graph_transport_shm(benchmark, bench_workload):
+    """Per-worker receive cost under shm transport: unpickle an O(1) handle
+    and attach the published segments — no graph bytes cross the pipe."""
+    if not shm_supported():
+        pytest.skip("POSIX shared memory unavailable")
+    csr = CSRGraph.from_graph(bench_workload.dataset.graph)
+    lease = SharedCSRGraph.publish(csr)
+    try:
+        payload = pickle.dumps(lease.handle, pickle.HIGHEST_PROTOCOL)
+
+        def receive():
+            attached = pickle.loads(payload).attach()
+            num_nodes = attached.num_nodes
+            attached.close()
+            return num_nodes
+
+        assert run_once(benchmark, receive) == csr.num_nodes
+    finally:
+        lease.close()
 
 
 def _phase2_builders(bench_workload):

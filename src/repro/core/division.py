@@ -342,8 +342,17 @@ def _divide_ego_csr_fallback(csr, ego: Node, detector: DetectorFn | str):
     path intentionally runs the dict implementation and stays fast *and*
     identical either way.
     """
-    source = csr._source if csr._source is not None else csr.to_graph()
-    ego_net = ego_network(source, ego)
+    if csr._source is not None:
+        ego_net = ego_network(csr._source, ego)
+    elif csr._neighbor_order is not None:
+        # Detached graph (shared-memory attach, binary spill): replay the
+        # dict backend's exact construction sequence so set-order dependent
+        # detectors stay bit-identical to the clean serial run.
+        from repro.graph.csr import ego_network_ordered
+
+        ego_net = ego_network_ordered(csr, ego)
+    else:
+        ego_net = ego_network(csr.to_graph(), ego)
     if ego_net.num_nodes == 0:
         return []
     detector_fn = get_detector(detector) if isinstance(detector, str) else detector

@@ -44,6 +44,14 @@ try:  # CSR layer requires NumPy; the dict backend must work without it.
         NodeFeatureMatrix,
         Phase2Kernel,
     )
+    from repro.graph.shm import (
+        Phase2ShmHandle,
+        SharedCSRGraph,
+        SharedPhase2Kernel,
+        ShmHandle,
+        ShmLease,
+        shm_supported,
+    )
 except ImportError:  # pragma: no cover - exercised only on NumPy-less hosts
     CSRGraph = None  # type: ignore[assignment,misc]
     community_tightness_csr = None  # type: ignore[assignment]
@@ -54,14 +62,23 @@ except ImportError:  # pragma: no cover - exercised only on NumPy-less hosts
     InteractionMatrix = None  # type: ignore[assignment,misc]
     NodeFeatureMatrix = None  # type: ignore[assignment,misc]
     Phase2Kernel = None  # type: ignore[assignment,misc]
+    Phase2ShmHandle = None  # type: ignore[assignment,misc]
+    SharedCSRGraph = None  # type: ignore[assignment,misc]
+    SharedPhase2Kernel = None  # type: ignore[assignment,misc]
+    ShmHandle = None  # type: ignore[assignment,misc]
+    ShmLease = None  # type: ignore[assignment,misc]
+    shm_supported = None  # type: ignore[assignment]
 from repro.graph.ego import ego_network, ego_network_size, ego_networks
 from repro.graph.features import NodeFeatureStore
 from repro.graph.graph import Graph
 from repro.graph.interactions import InteractionStore
 from repro.graph.io import (
+    csr_npz_fingerprint,
+    load_csr_npz,
     load_dataset_json,
     read_edge_list,
     read_labeled_edges,
+    save_csr_npz,
     save_dataset_json,
     write_edge_list,
     write_labeled_edges,
@@ -83,10 +100,19 @@ __all__ = [
     "ego_network_size",
     "girvan_newman_csr",
     "louvain_communities_csr",
+    "Phase2ShmHandle",
+    "SharedCSRGraph",
+    "SharedPhase2Kernel",
+    "ShmHandle",
+    "ShmLease",
+    "shm_supported",
     "read_edge_list",
     "write_edge_list",
     "read_labeled_edges",
     "write_labeled_edges",
     "save_dataset_json",
     "load_dataset_json",
+    "save_csr_npz",
+    "load_csr_npz",
+    "csr_npz_fingerprint",
 ]

@@ -45,7 +45,9 @@ from repro.types import Edge, Node, canonical_edge
 __all__ = [
     "CSRGraph",
     "DenseEgoNet",
+    "neighbor_order_array",
     "ego_network_csr",
+    "ego_network_ordered",
     "edge_betweenness_csr",
     "girvan_newman_csr",
     "community_tightness_csr",
@@ -66,7 +68,15 @@ class CSRGraph:
     arrays first — ego networks are tiny, the global graph is not.
     """
 
-    __slots__ = ("indptr", "indices", "_nodes", "_index", "_source")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "_nodes",
+        "_index",
+        "_source",
+        "_neighbor_order",
+        "spill_identity",
+    )
 
     def __init__(
         self,
@@ -83,6 +93,15 @@ class CSRGraph:
         # used to mirror its set-iteration orderings exactly so both backends
         # emit communities in identical order (index parity in Phase I).
         self._source = source
+        # Detached stand-in for ``_source``'s orderings: a permutation array
+        # aligned with ``indices`` (see :func:`neighbor_order_array`) carried
+        # by graphs that crossed a process or disk boundary and left their
+        # source behind (shared-memory attach, binary spill).
+        self._neighbor_order: np.ndarray | None = None
+        # Identity of the on-disk spill this graph was loaded from
+        # (``path|size|sha256``, see ``repro.graph.io.csr_npz_fingerprint``);
+        # the shard checkpoint store folds it into its fingerprints.
+        self.spill_identity: str | None = None
 
     # -------------------------------------------------------------- builders
     @classmethod
@@ -120,8 +139,24 @@ class CSRGraph:
         return cls.from_graph(Graph(edges=edges, nodes=nodes))
 
     def to_graph(self) -> Graph:
-        """Materialise the equivalent dict-backend :class:`Graph`."""
+        """Materialise the equivalent dict-backend :class:`Graph`.
+
+        A graph detached from its source but carrying a neighbour-order
+        permutation (shared-memory attach, binary spill) fills each
+        adjacency set in the source's own iteration order, so set-order
+        dependent consumers (the non-GN detector fallback) observe the
+        same orderings the original dict backend would.
+        """
         graph = Graph(nodes=self._nodes)
+        order = self._neighbor_order
+        if order is not None:
+            for i, u in enumerate(self._nodes):
+                start, end = int(self.indptr[i]), int(self.indptr[i + 1])
+                row = self.indices[start:end][order[start:end]]
+                adjacency = graph._adj[u]
+                for j in row.tolist():
+                    adjacency.add(self._nodes[j])
+            return graph
         for i, u in enumerate(self._nodes):
             for j in self._row(i):
                 if i < j:
@@ -336,10 +371,75 @@ def dense_ego_net(csr: CSRGraph, ego: Node) -> DenseEgoNet:
 
 def _dict_backend_order(csr: CSRGraph, ego: Node, labels: list[Node]) -> list[int]:
     """Local indices in the order the dict backend iterates the friend set."""
+    if csr._source is not None:
+        local = {label: i for i, label in enumerate(labels)}
+        return [local[label] for label in csr._source.neighbors(ego)]
+    if csr._neighbor_order is not None:
+        e = csr.index_of(ego)
+        start, end = int(csr.indptr[e]), int(csr.indptr[e + 1])
+        return [int(pos) for pos in csr._neighbor_order[start:end]]
+    return list(range(len(labels)))
+
+
+def neighbor_order_array(csr: CSRGraph) -> np.ndarray | None:
+    """Permutation mapping sorted CSR rows back to dict-set iteration order.
+
+    ``order[indptr[i] + j]`` is the position *within the sorted row* of node
+    ``i``'s ``j``-th neighbour as the source :class:`Graph` iterates its
+    adjacency set.  The array is what lets a :class:`CSRGraph` detached from
+    its source — a shared-memory attach in a worker, a binary spill loaded
+    from disk — keep emitting communities in the dict backend's order
+    (:func:`_dict_backend_order`, :meth:`CSRGraph.to_graph`).  ``None`` when
+    the graph has neither a source nor a previously captured order.
+    """
+    if csr._neighbor_order is not None:
+        return csr._neighbor_order
     if csr._source is None:
-        return list(range(len(labels)))
-    local = {label: i for i, label in enumerate(labels)}
-    return [local[label] for label in csr._source.neighbors(ego)]
+        return None
+    order = np.empty(csr.indices.size, dtype=np.int32)
+    for i, node in enumerate(csr._nodes):
+        start = int(csr.indptr[i])
+        count = int(csr.indptr[i + 1]) - start
+        row = np.fromiter(
+            (csr._index[other] for other in csr._source.neighbors(node)),
+            count=count,
+            dtype=np.int64,
+        )
+        perm = np.argsort(row, kind="stable")
+        ranks = np.empty(count, dtype=np.int32)
+        ranks[perm] = np.arange(count, dtype=np.int32)
+        order[start : start + count] = ranks
+    return order
+
+
+def ego_network_ordered(csr: CSRGraph, ego: Node) -> Graph:
+    """Ego network of ``ego`` replaying the dict backend's construction.
+
+    Requires a ``_neighbor_order`` permutation (graphs attached from shared
+    memory or loaded from a binary spill).  Visits friends and their
+    neighbours in exactly the sequence :func:`repro.graph.ego.ego_network`
+    does over the source graph, so the resulting :class:`Graph` has
+    *identical* dict and set insertion histories — and therefore identical
+    iteration orders, which order-sensitive detectors (label propagation,
+    Louvain) observe.  This is what keeps non-GN division over a detached
+    graph bit-identical to the clean serial run.
+    """
+    order = csr._neighbor_order
+    assert order is not None, "ego_network_ordered needs a neighbor order"
+    e = csr.index_of(ego)
+    start, end = int(csr.indptr[e]), int(csr.indptr[e + 1])
+    friends = csr.indices[start:end][order[start:end]].tolist()
+    friend_set = set(friends)
+    labels = csr._nodes
+    ego_net = Graph(nodes=(labels[j] for j in friends))
+    for j in friends:
+        fstart, fend = int(csr.indptr[j]), int(csr.indptr[j + 1])
+        row = csr.indices[fstart:fend][order[fstart:fend]]
+        friend_label = labels[j]
+        for k in row.tolist():
+            if k in friend_set and k != j:
+                ego_net.add_edge(friend_label, labels[k])
+    return ego_net
 
 
 def ego_network_csr(graph: Graph | CSRGraph, ego: Node) -> Graph:

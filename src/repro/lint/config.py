@@ -29,6 +29,7 @@ DEFAULT_RULE_SCOPES: Dict[str, Tuple[str, ...]] = {
     "PAR001": _LIBRARY,  # project rule: src side of the cross-reference
     "MP001": _EVERYTHING,
     "MP002": _LIBRARY,
+    "MP003": _EVERYTHING,
     "NPY001": _EVERYTHING,
     "NPY002": _EVERYTHING,
     "NPY003": _EVERYTHING,

@@ -9,7 +9,12 @@ cost a real bug:
 * exception classes whose ``__init__`` signature differs from ``args``
   must define ``__reduce__`` (the ``_PicklableErrorMixin`` pattern in
   :mod:`repro.exceptions`), otherwise unpickling in the supervisor either
-  raises ``TypeError`` or silently rebuilds a garbled message (``MP002``).
+  raises ``TypeError`` or silently rebuilds a garbled message (``MP002``);
+* every ``SharedMemory(...)`` acquisition must sit behind a lifecycle
+  guard — a ``with`` lease or a ``try``/``finally`` (or handler) that
+  closes the mapping, plus ``unlink`` for creators — because a leaked
+  POSIX segment outlives the process and eats ``/dev/shm`` until reboot
+  (``MP003``).
 """
 
 from __future__ import annotations
@@ -121,6 +126,118 @@ class ExecutorCallableRule(Rule):
                 f"{what} cannot be pickled into a worker process — move the "
                 "callable to module scope"
             ),
+        )
+
+
+#: Call-name tokens that count as releasing a mapping (``.close()``,
+#: ``lease.close()``, ``_release_segments(...)`` …).
+_CLOSE_TOKENS = ("close", "release", "unlink")
+#: Tokens that additionally count as destroying the segment itself, which
+#: creators (``create=True``) must guarantee.
+_UNLINK_TOKENS = ("unlink", "release")
+
+
+def _called_names(stmts: List[ast.stmt]) -> Iterator[str]:
+    """Names of every function/method invoked anywhere under ``stmts``."""
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    yield func.attr
+                elif isinstance(func, ast.Name):
+                    yield func.id
+
+
+def _try_cleans_up(node: ast.Try, need_unlink: bool) -> bool:
+    """True when the try's finally/handlers release (and unlink) segments."""
+    tokens = _UNLINK_TOKENS if need_unlink else _CLOSE_TOKENS
+    cleanup: List[ast.stmt] = list(node.finalbody)
+    for handler in node.handlers:
+        cleanup.extend(handler.body)
+    return any(
+        any(token in name.lower() for token in tokens)
+        for name in _called_names(cleanup)
+    )
+
+
+@register
+class SharedMemoryLifecycleRule(Rule):
+    rule_id = "MP003"
+    name = "shared-memory-lifecycle"
+    description = (
+        "SharedMemory acquisitions must be guarded by a with-lease or a "
+        "try/finally that closes the mapping (and unlinks it for creators)"
+    )
+    rationale = (
+        "a leaked POSIX shared-memory segment outlives the process and "
+        "holds /dev/shm space until reboot; creators that close without "
+        "unlink leak the segment even on the happy path"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(ctx.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        for call in iter_calls(ctx.tree):
+            func = call.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else None
+            )
+            if name != "SharedMemory":
+                continue
+            creates = any(
+                keyword.arg == "create"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in call.keywords
+            )
+            if self._guarded(call, parents, creates):
+                continue
+            needed = "close() and unlink()" if creates else "close()"
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.path,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    "SharedMemory acquisition without a lifecycle guard — "
+                    "wrap it in a with-lease or pair it with a try/finally "
+                    f"calling {needed}"
+                ),
+            )
+
+    def _guarded(
+        self,
+        call: ast.Call,
+        parents: Dict[ast.AST, ast.AST],
+        creates: bool,
+    ) -> bool:
+        """Walk outward: a with block, a cleaning try, or one in the same
+        function body (the acquire-then-try/finally idiom) all count."""
+        node: ast.AST = call
+        scope: ast.AST | None = None
+        while node in parents:
+            node = parents[node]
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                return True
+            if isinstance(node, ast.Try) and _try_cleans_up(node, creates):
+                return True
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and scope is None
+            ):
+                scope = node
+        if scope is None:
+            return False
+        return any(
+            isinstance(inner, ast.Try) and _try_cleans_up(inner, creates)
+            for inner in ast.walk(scope)
         )
 
 

@@ -6,9 +6,15 @@ from repro.runtime.cost_model import (
     CostCalibration,
     CostModel,
     RuntimeEstimate,
+    TransportCalibration,
     WorkloadSpec,
 )
-from repro.runtime.executor import ExecutionReport, ShardedDivisionExecutor, ShardReport
+from repro.runtime.executor import (
+    ExecutionReport,
+    ShardedDivisionExecutor,
+    ShardReport,
+    TransportStats,
+)
 from repro.runtime.faultinject import (
     Fault,
     FaultPlan,
@@ -30,6 +36,7 @@ from repro.runtime.scalability import (
     MeasuredPhaseTimes,
     ScalabilityStudy,
     measure_phases,
+    measure_transport,
     measure_worker_scaling,
     run_chaos,
 )
@@ -43,6 +50,7 @@ __all__ = [
     "ShardedDivisionExecutor",
     "ExecutionReport",
     "ShardReport",
+    "TransportStats",
     "ShardFailure",
     "RetryPolicy",
     "Clock",
@@ -57,12 +65,14 @@ __all__ = [
     "PermanentInjectedError",
     "CostModel",
     "CostCalibration",
+    "TransportCalibration",
     "ClusterSpec",
     "WorkloadSpec",
     "RuntimeEstimate",
     "ScalabilityStudy",
     "MeasuredPhaseTimes",
     "measure_phases",
+    "measure_transport",
     "measure_worker_scaling",
     "ChaosReport",
     "run_chaos",

@@ -29,6 +29,8 @@ computes.
 
 from __future__ import annotations
 
+import pickle
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -38,10 +40,12 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import (lazy at runtime)
     from repro.graph.csr import CSRGraph
+    from repro.graph.shm import ShmHandle, ShmLease
 
 from repro.core.config import ResilienceConfig
 from repro.core.division import DivisionResult, divide, resolve_backend
 from repro.exceptions import (
+    ExecutorError,
     RetryExhaustedError,
     ShardFailedError,
     ShardTimeoutError,
@@ -60,9 +64,27 @@ from repro.runtime.resilience import (
 from repro.runtime.sharding import Shard, shard_nodes, validate_shards
 from repro.types import Node
 
-_WORKER_GRAPH = None
+_WORKER_GRAPH: "Graph | CSRGraph | None" = None
 _WORKER_FAULT_PLAN: FaultPlan | None = None
 _WORKER_TIMEOUT: float | None = None
+
+
+def _reset_worker_state() -> None:
+    """Explicit worker teardown: drop the cached graph and fault plan.
+
+    The worker globals used to persist for the life of the process — a stale
+    graph (and, for shm transport, its segment mappings) survived across
+    runs and pool generations.  ``_init_worker`` calls this before installing
+    new state, and :meth:`ShardedDivisionExecutor.close` calls it in the
+    parent so in-process tests can assert nothing lingers.
+    """
+    global _WORKER_GRAPH, _WORKER_FAULT_PLAN, _WORKER_TIMEOUT
+    graph, _WORKER_GRAPH = _WORKER_GRAPH, None
+    _WORKER_FAULT_PLAN = None
+    _WORKER_TIMEOUT = None
+    close = getattr(graph, "close", None)
+    if callable(close):
+        close()
 
 
 def _prepare_graph(graph: Graph, backend: str) -> "Graph | CSRGraph":
@@ -77,33 +99,55 @@ def _prepare_graph(graph: Graph, backend: str) -> "Graph | CSRGraph":
 
 
 def _init_worker(
-    graph: Graph,
+    payload: "Graph | CSRGraph | ShmHandle",
     backend: str,
     fault_plan: FaultPlan | None = None,
     shard_timeout: float | None = None,
 ) -> None:
     """Process-pool initializer: receive the graph once per worker process.
 
-    The graph is pickled exactly once per worker instead of once per shard
-    task, which matters because the graph is by far the largest object in a
-    task and shards typically outnumber workers severalfold.  The fault plan
-    (tests / chaos runs only) travels the same way.
+    Under ``transport="pickle"`` the payload is the graph itself — pickled
+    once per worker instead of once per shard task.  Under ``"shm"`` it is a
+    :class:`~repro.graph.shm.ShmHandle` of a few hundred bytes and the
+    worker attaches the published segments zero-copy, so startup cost stops
+    scaling with graph size.  The fault plan (tests / chaos runs only)
+    travels alongside either way.
     """
     global _WORKER_GRAPH, _WORKER_FAULT_PLAN, _WORKER_TIMEOUT
-    _WORKER_GRAPH = _prepare_graph(graph, backend)
+    _reset_worker_state()
+    attach = getattr(payload, "attach", None)
+    if callable(attach):  # ShmHandle
+        _WORKER_GRAPH = attach()
+    else:
+        _WORKER_GRAPH = _prepare_graph(payload, backend)  # type: ignore[arg-type]
     _WORKER_FAULT_PLAN = fault_plan
     _WORKER_TIMEOUT = shard_timeout
 
 
+def _peak_rss_bytes() -> int:
+    """Peak resident set size of this process in bytes (0 if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is bytes on macOS, kilobytes everywhere else.
+    scale = 1 if sys.platform == "darwin" else 1024
+    return int(peak) * scale
+
+
 def _process_shard_in_worker(
     shard: Shard, detector: str, backend: str, attempt: int = 0
-) -> tuple[int, DivisionResult, float]:
+) -> tuple[int, DivisionResult, float, int]:
     assert _WORKER_GRAPH is not None, "worker initializer did not run"
     if _WORKER_FAULT_PLAN is not None:
         _WORKER_FAULT_PLAN.apply(
             shard.shard_id, attempt, in_worker=True, timeout=_WORKER_TIMEOUT
         )
-    return _process_shard(_WORKER_GRAPH, shard, detector, backend)
+    shard_id, division, seconds = _process_shard(
+        _WORKER_GRAPH, shard, detector, backend
+    )
+    return shard_id, division, seconds, _peak_rss_bytes()
 
 
 @dataclass
@@ -127,6 +171,33 @@ class ShardReport:
 
 
 @dataclass
+class TransportStats:
+    """How the graph reached the workers, and what that shipping cost.
+
+    ``transport`` is the *resolved* mode (``"auto"`` never appears here):
+    ``"inline"`` for serial in-process runs where nothing is shipped,
+    ``"pickle"`` when each worker deserializes its own copy of the graph,
+    ``"shm"`` when workers attach a published shared-memory CSR snapshot.
+    """
+
+    transport: str = "inline"
+    payload_bytes: int = 0
+    """Pickled size of the per-worker payload (the graph, or an ShmHandle)."""
+    segment_bytes: int = 0
+    """Total bytes of published shared-memory segments (shm transport only)."""
+    num_workers: int = 0
+    peak_worker_rss_bytes: int = 0
+    """Largest per-process peak RSS sampled at shard completion (bytes)."""
+    swept_segments: int = 0
+    """Shared-memory segments unlinked by pool-rebuild / finalizer sweeps."""
+
+    @property
+    def shipped_bytes(self) -> int:
+        """Bytes serialized across the pool at startup (payload × workers)."""
+        return self.payload_bytes * max(self.num_workers, 1)
+
+
+@dataclass
 class ExecutionReport:
     """Result of a sharded Phase I execution.
 
@@ -143,6 +214,8 @@ class ExecutionReport:
     """Times a broken process pool was torn down and rebuilt."""
     degraded_to_serial: bool = False
     """True when repeated pool breakage forced in-process serial execution."""
+    transport: TransportStats = field(default_factory=TransportStats)
+    """Graph-shipping accounting (resolved transport, bytes, peak RSS)."""
 
     @property
     def total_seconds(self) -> float:
@@ -253,7 +326,10 @@ class ShardedDivisionExecutor:
         self.retry_policy.validate()
         self.fault_plan = fault_plan
         self.clock = clock if clock is not None else SystemClock()
-        self._prepared_graph = None  # parent-process graph, built lazily
+        # Parent-process graph, built lazily per run.
+        self._prepared_graph: "Graph | CSRGraph | None" = None
+        # Published shared-memory lease while a pool is live (shm transport).
+        self._lease: "ShmLease | None" = None
 
     # ------------------------------------------------------------------ run
     def run(
@@ -275,14 +351,22 @@ class ShardedDivisionExecutor:
             shard_nodes(nodes, self.num_shards, strategy=self.strategy)
         )
         report = ExecutionReport(division=DivisionResult())
+        report.transport.num_workers = self.num_workers
         self._prepared_graph = None
 
+        # Spilled graphs (``load_csr_npz``) carry a content-addressed identity;
+        # folding it into checkpoint fingerprints keeps checkpoints from one
+        # spill file from resuming a run over a different file at the same
+        # path.  In-memory graphs have no identity and keep the old hashes.
+        graph_id = getattr(graph, "spill_identity", None)
         write_store = (
-            ShardCheckpointStore(self.resilience.checkpoint_dir)
+            ShardCheckpointStore(self.resilience.checkpoint_dir, graph_id=graph_id)
             if self.resilience.checkpoint_dir
             else None
         )
-        resume_store = ShardCheckpointStore(resume_from) if resume_from else None
+        resume_store = (
+            ShardCheckpointStore(resume_from, graph_id=graph_id) if resume_from else None
+        )
 
         outcomes: dict[int, _ShardOutcome] = {}
         pending: list[RetryState] = []
@@ -301,10 +385,15 @@ class ShardedDivisionExecutor:
                 pending.append(RetryState(shard))
 
         if pending:
-            if self.num_workers <= 1:
-                self._run_serial(graph, pending, report, outcomes, write_store)
-            else:
-                self._run_pool(graph, pending, report, outcomes, write_store)
+            try:
+                if self.num_workers <= 1:
+                    self._run_serial(graph, pending, report, outcomes, write_store)
+                else:
+                    self._run_pool(graph, pending, report, outcomes, write_store)
+            finally:
+                # Finalizer sweep: whatever happened above, no published
+                # segment outlives the run that published it.
+                self._sweep_lease(report)
 
         for shard_id in sorted(outcomes):
             outcome = outcomes[shard_id]
@@ -329,6 +418,77 @@ class ShardedDivisionExecutor:
         if self._prepared_graph is None:
             self._prepared_graph = _prepare_graph(graph, self.backend)
         return self._prepared_graph
+
+    def _resolve_transport(self, prepared: "Graph | CSRGraph") -> str:
+        """Resolve the configured transport against graph and platform.
+
+        ``"auto"`` picks shm exactly when the prepared graph is a CSR
+        snapshot and the platform has POSIX shared memory; ``"shm"`` raises
+        when either precondition is missing instead of silently shipping a
+        full pickle.
+        """
+        mode = self.resilience.transport
+        if mode == "pickle":
+            return "pickle"
+        try:
+            from repro.graph.csr import CSRGraph
+            from repro.graph.shm import shm_supported
+        except ImportError:
+            supported = False
+        else:
+            supported = shm_supported() and isinstance(prepared, CSRGraph)
+        if mode == "shm":
+            if not supported:
+                raise ExecutorError(
+                    "transport='shm' requires the CSR graph backend and a "
+                    "platform with POSIX shared memory"
+                )
+            return "shm"
+        return "shm" if supported else "pickle"
+
+    def _worker_payload(
+        self, graph: Graph, report: ExecutionReport
+    ) -> "Graph | CSRGraph | ShmHandle":
+        """Build the per-worker initializer payload and record its cost.
+
+        Under shm transport the CSR arrays are published once here and every
+        worker receives only the O(1) handle; under pickle transport each
+        worker deserializes its own full copy of the graph (the historical
+        behaviour, and the fallback when ``"auto"`` cannot use shm or
+        publishing fails).
+        """
+        prepared = self._parent_graph(graph)
+        transport = self._resolve_transport(prepared)
+        if transport == "shm":
+            from repro.graph.shm import SharedCSRGraph, handle_nbytes
+
+            try:
+                lease = SharedCSRGraph.publish(prepared)  # type: ignore[arg-type]
+            except Exception:  # noqa: BLE001 — fall back rather than fail startup
+                if self.resilience.transport == "shm":
+                    raise
+            else:
+                self._lease = lease
+                report.transport.transport = "shm"
+                report.transport.payload_bytes = handle_nbytes(lease.handle)
+                report.transport.segment_bytes = lease.segment_nbytes
+                return lease.handle
+        report.transport.transport = "pickle"
+        report.transport.payload_bytes = len(
+            pickle.dumps(graph, pickle.HIGHEST_PROTOCOL)
+        )
+        report.transport.segment_bytes = 0
+        return graph
+
+    def _sweep_lease(self, report: ExecutionReport | None = None) -> None:
+        """Unlink the published lease (idempotent; rebuilds and finalizers)."""
+        lease, self._lease = self._lease, None
+        if lease is None:
+            return
+        swept = 0 if lease.released else len(lease.segment_names)
+        lease.close()
+        if report is not None:
+            report.transport.swept_segments += swept
 
     def _checkpoint(
         self,
@@ -390,6 +550,9 @@ class ShardedDivisionExecutor:
                     attempts=state.attempt + 1,
                     timeouts=state.timeouts,
                 )
+                report.transport.peak_worker_rss_bytes = max(
+                    report.transport.peak_worker_rss_bytes, _peak_rss_bytes()
+                )
                 self._checkpoint(write_store, shard, division, seconds)
                 break
 
@@ -403,7 +566,7 @@ class ShardedDivisionExecutor:
     ) -> None:
         """Supervised process-pool execution with pool-rebuild recovery."""
         timeout = self.resilience.shard_timeout
-        pool = self._make_pool(graph)
+        pool = self._make_pool(graph, report)
         pending = list(states)
         try:
             while pending:
@@ -439,13 +602,18 @@ class ShardedDivisionExecutor:
                         )
                     else:
                         try:
-                            _, division, seconds = future.result(timeout=timeout)
+                            _, division, seconds, worker_rss = future.result(
+                                timeout=timeout
+                            )
                             outcomes[shard.shard_id] = _ShardOutcome(
                                 shard=shard,
                                 division=division,
                                 seconds=seconds,
                                 attempts=state.attempt + 1,
                                 timeouts=state.timeouts,
+                            )
+                            report.transport.peak_worker_rss_bytes = max(
+                                report.transport.peak_worker_rss_bytes, worker_rss
                             )
                             self._checkpoint(write_store, shard, division, seconds)
                             continue
@@ -469,6 +637,10 @@ class ShardedDivisionExecutor:
 
                 if broken:
                     pool.shutdown(wait=False, cancel_futures=True)
+                    # Unlink-on-rebuild sweep: a crashed worker cannot close
+                    # its attachments, so the parent unlinks the published
+                    # segments here and (re)publishes for the next pool.
+                    self._sweep_lease(report)
                     report.pool_rebuilds += 1
                     if report.pool_rebuilds > self.resilience.max_pool_rebuilds:
                         # The pool keeps dying: degrade to in-process serial
@@ -478,7 +650,7 @@ class ShardedDivisionExecutor:
                             graph, retry_wave, report, outcomes, write_store
                         )
                         return
-                    pool = self._make_pool(graph)
+                    pool = self._make_pool(graph, report)
 
                 if retry_wave:
                     # One backoff per wave: the longest of the per-shard
@@ -493,17 +665,38 @@ class ShardedDivisionExecutor:
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
 
-    def _make_pool(self, graph: Graph) -> ProcessPoolExecutor:
+    def _make_pool(self, graph: Graph, report: ExecutionReport) -> ProcessPoolExecutor:
+        payload = self._worker_payload(graph, report)
         return ProcessPoolExecutor(
             max_workers=self.num_workers,
             initializer=_init_worker,
             initargs=(
-                graph,
+                payload,
                 self.backend,
                 self.fault_plan,
                 self.resilience.shard_timeout,
             ),
         )
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release everything the executor holds between runs.
+
+        Unlinks any published shared-memory lease, drops the cached
+        parent-process graph and resets the module-level worker globals (the
+        serial path and in-process tests run in this interpreter).  Idempotent
+        and safe to call at any point; the context-manager form calls it on
+        exit.
+        """
+        self._sweep_lease(None)
+        self._prepared_graph = None
+        _reset_worker_state()
+
+    def __enter__(self) -> "ShardedDivisionExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _should_retry(self, state: RetryState, exc: Exception) -> bool:
         return (

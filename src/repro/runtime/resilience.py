@@ -127,14 +127,23 @@ class RetryPolicy:
 
 
 # ----------------------------------------------------------- checkpointing
-def shard_fingerprint(shard: Shard, detector: str) -> str:
+def shard_fingerprint(
+    shard: Shard, detector: str, graph_id: str | None = None
+) -> str:
     """Content hash identifying a shard's work: id, ego list and detector.
 
     The graph backend is deliberately excluded — backends are bit-identical
     by contract, so a checkpoint written under ``csr`` is valid for a resume
-    under ``dict`` and vice versa.
+    under ``dict`` and vice versa.  ``graph_id`` (the spill file identity
+    ``path|size|sha256`` from :func:`repro.graph.io.csr_npz_fingerprint`)
+    *is* included when known: once graphs stop travelling by pickle the
+    checkpoint is only as trustworthy as the spill it was computed from, so
+    a rewritten spill at the same path invalidates old checkpoints.
     """
-    payload = repr((shard.shard_id, shard.egos, detector)).encode("utf-8")
+    work: tuple[object, ...] = (shard.shard_id, shard.egos, detector)
+    if graph_id is not None:
+        work = work + (graph_id,)
+    payload = repr(work).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()
 
 
@@ -154,11 +163,13 @@ class ShardCheckpointStore:
     Writes are atomic (temp file + ``os.replace``) so a kill mid-write never
     leaves a truncated checkpoint that a resume would trust.  Loads validate
     the content fingerprint: a checkpoint written for different egos or a
-    different detector is ignored, not reused.
+    different detector — or, when the store is bound to a spill file via
+    ``graph_id``, a different graph spill — is ignored, not reused.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(self, directory: str | Path, graph_id: str | None = None) -> None:
         self.directory = Path(directory)
+        self.graph_id = graph_id
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def _path(self, shard_id: int) -> Path:
@@ -167,7 +178,7 @@ class ShardCheckpointStore:
     def save(self, shard: Shard, detector: str, division: DivisionResult,
              seconds: float) -> Path:
         checkpoint = ShardCheckpoint(
-            fingerprint=shard_fingerprint(shard, detector),
+            fingerprint=shard_fingerprint(shard, detector, self.graph_id),
             shard_id=shard.shard_id,
             division=division,
             seconds=seconds,
@@ -196,7 +207,7 @@ class ShardCheckpointStore:
             raise CheckpointError(
                 f"cannot read checkpoint for shard {shard.shard_id} at {path}: {exc}"
             ) from exc
-        if checkpoint.fingerprint != shard_fingerprint(shard, detector):
+        if checkpoint.fingerprint != shard_fingerprint(shard, detector, self.graph_id):
             return None  # stale: written for different work
         return checkpoint
 

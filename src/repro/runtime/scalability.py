@@ -23,9 +23,10 @@ from repro.runtime.cost_model import (
     CostCalibration,
     CostModel,
     RuntimeEstimate,
+    TransportCalibration,
     WorkloadSpec,
 )
-from repro.runtime.executor import ShardedDivisionExecutor
+from repro.runtime.executor import ShardedDivisionExecutor, TransportStats
 from repro.synthetic.network import SocialNetworkDataset
 
 
@@ -52,6 +53,11 @@ class MeasuredPhaseTimes:
     commcnn_tensor_seconds: float = 0.0
     commcnn_fit_seconds: float = 0.0
     commcnn_predict_seconds: float = 0.0
+    transport_stats: TransportStats | None = None
+    """Graph-shipping accounting of the Phase I run (resolved transport,
+    payload vs segment bytes, peak worker RSS).  ``None`` unless
+    :func:`measure_phases` ran Phase I through the shard executor
+    (``num_workers > 1``)."""
 
     @property
     def total_seconds(self) -> float:
@@ -81,6 +87,9 @@ def measure_phases(
     include_model_kernels: bool = False,
     gbdt_rounds: int = 10,
     cnn_epochs: int = 2,
+    num_workers: int = 1,
+    num_shards: int = 4,
+    transport: str = "auto",
     clock: Clock | None = None,
 ) -> MeasuredPhaseTimes:
     """Time the three LoCEC phases on a real (synthetic) dataset.
@@ -97,6 +106,11 @@ def measure_phases(
     leaf-value embedding), ``commcnn_tensor`` (CNN input tensor emission),
     ``commcnn_fit`` (a ``cnn_epochs``-epoch CommCNN fit on that tensor) and
     ``commcnn_predict`` (CommCNN probabilities for every community).
+    With ``num_workers > 1`` Phase I runs through the shard executor
+    (``num_shards`` shards, graph shipped via ``transport`` —
+    ``"auto"``/``"pickle"``/``"shm"``) and the returned
+    :class:`MeasuredPhaseTimes` carries the run's
+    :class:`~repro.runtime.executor.TransportStats`.
     ``clock`` injects the time source (default :class:`repro.clock.
     SystemClock`); tests inject a ``FakeClock`` to get deterministic timings.
     """
@@ -105,8 +119,25 @@ def measure_phases(
     if max_egos is not None:
         egos = egos[:max_egos]
 
+    transport_stats: TransportStats | None = None
     start = clock.perf_counter()
-    division = divide(dataset.graph, egos=egos, detector=detector, backend=backend)
+    if num_workers > 1:
+        # Phase I through the shard executor: same division (the executor's
+        # core invariant), plus transport accounting for the report below.
+        from repro.core.config import ResilienceConfig
+
+        with ShardedDivisionExecutor(
+            num_shards=num_shards,
+            num_workers=num_workers,
+            detector=detector,
+            backend=backend,
+            resilience=ResilienceConfig(transport=transport),
+        ) as executor:
+            execution = executor.run(dataset.graph, egos=egos)
+        division = execution.division
+        transport_stats = execution.transport
+    else:
+        division = divide(dataset.graph, egos=egos, detector=detector, backend=backend)
     phase1_seconds = clock.perf_counter() - start
 
     builder = FeatureMatrixBuilder(
@@ -189,6 +220,55 @@ def measure_phases(
         commcnn_tensor_seconds=commcnn_tensor_seconds,
         commcnn_fit_seconds=commcnn_fit_seconds,
         commcnn_predict_seconds=commcnn_predict_seconds,
+        transport_stats=transport_stats,
+    )
+
+
+def measure_transport(
+    dataset: SocialNetworkDataset,
+    clock: Clock | None = None,
+) -> TransportCalibration:
+    """Measure attach-vs-pickle worker startup costs on a real graph.
+
+    Times what each transport makes a worker pay to receive the graph:
+    deserializing a full pickled copy (pickle transport) versus unpickling an
+    O(1) handle and attaching the published shared-memory segments (shm
+    transport).  The one-time publish cost is measured separately.  Returns a
+    :class:`~repro.runtime.cost_model.TransportCalibration` ready to hand to
+    :class:`~repro.runtime.cost_model.CostModel`.
+    """
+    import pickle
+
+    from repro.graph.csr import CSRGraph
+    from repro.graph.shm import SharedCSRGraph
+
+    clock = clock or SystemClock()
+    graph = dataset.graph
+    csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_graph(graph)
+
+    payload = pickle.dumps(graph, pickle.HIGHEST_PROTOCOL)
+    start = clock.perf_counter()
+    pickle.loads(payload)
+    pickle_seconds = clock.perf_counter() - start
+
+    start = clock.perf_counter()
+    lease = SharedCSRGraph.publish(csr)
+    publish_seconds = clock.perf_counter() - start
+    try:
+        handle_payload = pickle.dumps(lease.handle, pickle.HIGHEST_PROTOCOL)
+        start = clock.perf_counter()
+        attached = pickle.loads(handle_payload).attach()
+        attach_seconds = clock.perf_counter() - start
+        attached.close()
+    finally:
+        lease.close()
+
+    return TransportCalibration.from_measurements(
+        pickle_seconds=pickle_seconds,
+        attach_seconds=attach_seconds,
+        publish_seconds=publish_seconds,
+        graph_bytes=len(payload),
+        handle_bytes=len(handle_payload),
     )
 
 
@@ -239,6 +319,10 @@ class ChaosReport:
     pool_rebuilds: int
     degraded_to_serial: bool
     identical_to_clean: bool
+    transport: str = "inline"
+    """Resolved graph transport of the faulted run."""
+    swept_segments: int = 0
+    """Shared-memory segments unlinked by rebuild/finalizer sweeps."""
 
     def to_text(self) -> str:
         lines = [
@@ -248,6 +332,12 @@ class ChaosReport:
             f"timeouts         : {self.total_timeouts}",
             f"pool rebuilds    : {self.pool_rebuilds}"
             + (" (degraded to serial)" if self.degraded_to_serial else ""),
+            f"transport        : {self.transport}"
+            + (
+                f" ({self.swept_segments} segments swept)"
+                if self.swept_segments
+                else ""
+            ),
             f"failed shards    : {self.failed_shards or 'none'}",
             f"identical to clean run: {self.identical_to_clean}",
         ]
@@ -265,6 +355,7 @@ def run_chaos(
     on_shard_failure: str = "skip",
     shard_timeout: float = 30.0,
     kinds: tuple[str, ...] = ("transient", "hang", "kill"),
+    transport: str = "auto",
 ) -> ChaosReport:
     """Chaos knob: run the shard executor under a seeded fault schedule.
 
@@ -287,6 +378,7 @@ def run_chaos(
         on_shard_failure=on_shard_failure,
         shard_timeout=shard_timeout,
         seed=seed,
+        transport=transport,
     )
     plan = FaultPlan.random(
         list(range(num_shards)),
@@ -295,14 +387,15 @@ def run_chaos(
         max_attempts=resilience.max_attempts,
         kinds=kinds,
     )
-    faulted = ShardedDivisionExecutor(
+    with ShardedDivisionExecutor(
         num_shards=num_shards,
         num_workers=num_workers,
         detector=detector,
         resilience=resilience,
         fault_plan=plan,
         clock=FakeClock(),
-    ).run(dataset.graph, egos=egos)
+    ) as executor:
+        faulted = executor.run(dataset.graph, egos=egos)
 
     clean = ShardedDivisionExecutor(
         num_shards=num_shards, num_workers=1, detector=detector
@@ -320,6 +413,8 @@ def run_chaos(
         identical_to_clean=(
             faulted.division.communities_by_ego == clean.division.communities_by_ego
         ),
+        transport=faulted.transport.transport,
+        swept_segments=faulted.transport.swept_segments,
     )
 
 

@@ -1,0 +1,16 @@
+"""MP003 fixture: shared-memory segments acquired without lifecycle guards."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def attach_unguarded(name: str) -> bytes:
+    segment = SharedMemory(name=name)
+    return bytes(segment.buf[:8])
+
+
+def create_without_unlink(name: str) -> None:
+    segment = SharedMemory(name=name, create=True, size=64)
+    try:
+        segment.buf[:4] = b"abcd"
+    finally:
+        segment.close()

@@ -1,0 +1,43 @@
+"""MP003 fixture: every acquisition behind a lease or a try/finally guard."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def attach_with_lease(lease, name: str) -> bytes:
+    with lease:
+        segment = SharedMemory(name=name)
+        return bytes(segment.buf[:8])
+
+
+def attach_guarded(name: str) -> bytes:
+    segment = SharedMemory(name=name)
+    try:
+        return bytes(segment.buf[:8])
+    finally:
+        segment.close()
+
+
+def create_guarded(name: str) -> None:
+    segment = SharedMemory(name=name, create=True, size=64)
+    try:
+        segment.buf[:4] = b"abcd"
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def create_all_or_nothing(names: list) -> list:
+    segments = []
+    try:
+        for name in names:
+            segments.append(SharedMemory(name=name, create=True, size=64))
+    except BaseException:
+        release_all(segments)
+        raise
+    return segments
+
+
+def release_all(segments: list) -> None:
+    for segment in segments:
+        segment.close()
+        segment.unlink()

@@ -1,0 +1,9 @@
+"""MP003 fixture: a deliberately leaked segment, explicitly waved through."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak_for_inspection(name: str) -> SharedMemory:
+    # Diagnostic helper: the segment intentionally outlives this function;
+    # the caller owns the close()/unlink() pair.
+    return SharedMemory(name=name)  # repro-lint: disable=MP003

@@ -1,0 +1,478 @@
+"""Tests for the zero-copy transport stack: shared-memory CSR graphs,
+out-of-core npz spill, and the executor's transport plumbing.
+
+Covers the PR's hard invariants:
+
+* publish -> pickle-the-handle -> attach round-trips the CSR arrays
+  **bit-identically**, and the handle stays tiny (< 4 KiB) as the graph
+  grows;
+* a pool run under any transport (``pickle``, ``shm``, ``auto``) merges to a
+  :class:`DivisionResult` identical to the clean serial run — including on
+  string-labeled graphs, where set iteration order is the usual trap;
+* leases never leak: the executor sweeps its segments on close and on pool
+  rebuild (the slow tier hard-kills a worker to prove it);
+* ``save_csr_npz``/``load_csr_npz`` round-trip bit-identically in both
+  mmap modes, and the spill fingerprint feeds the checkpoint identity.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.runtime.executor as executor_module
+from repro.core.config import ResilienceConfig
+from repro.exceptions import ExecutorError, ModelConfigError
+from repro.graph.csr import CSRGraph, ego_network_ordered, neighbor_order_array
+from repro.graph.ego import ego_network
+from repro.graph.generators import paper_figure7_network, planted_partition
+from repro.graph.graph import Graph
+from repro.graph.io import csr_npz_fingerprint, load_csr_npz, save_csr_npz
+from repro.graph.phase2 import Phase2Kernel
+from repro.graph.shm import (
+    SharedCSRGraph,
+    SharedPhase2Kernel,
+    handle_nbytes,
+    shm_supported,
+)
+from repro.runtime import (
+    ClusterSpec,
+    CostModel,
+    ShardedDivisionExecutor,
+    TransportCalibration,
+    measure_transport,
+)
+from repro.runtime.faultinject import Fault, FaultPlan
+from repro.runtime.resilience import FakeClock, shard_fingerprint
+from repro.runtime.sharding import shard_nodes
+from repro.synthetic import make_workload
+
+needs_shm = pytest.mark.skipif(
+    not shm_supported(), reason="POSIX shared memory unavailable"
+)
+
+
+@pytest.fixture
+def graph():
+    return paper_figure7_network()
+
+
+@pytest.fixture
+def string_graph():
+    """A graph whose node labels defeat small-int set-layout coincidences."""
+    base, _ = planted_partition([8, 8, 8], intra_prob=0.8, inter_prob=0.05, seed=7)
+    relabeled = Graph(nodes=(f"user:{node:04d}" for node in base.nodes()))
+    for u, v in base.edges():
+        relabeled.add_edge(f"user:{u:04d}", f"user:{v:04d}")
+    return relabeled
+
+
+def _serial_division(graph, detector="label_propagation", num_shards=3):
+    return (
+        ShardedDivisionExecutor(num_shards=num_shards, detector=detector)
+        .run(graph)
+        .division
+    )
+
+
+def _attach_in_child(handle_payload: bytes, conn) -> None:
+    """Spawn-target: unpickle a handle, attach, ship back checksums."""
+    attached = pickle.loads(handle_payload).attach()
+    try:
+        conn.send(
+            {
+                "num_nodes": attached.num_nodes,
+                "indptr_sum": int(attached.indptr.sum()),
+                "indices_sum": int(attached.indices.sum()),
+            }
+        )
+    finally:
+        attached.close()
+        conn.close()
+
+
+# ------------------------------------------------------------ shm round-trip
+@needs_shm
+class TestSharedCSRRoundTrip:
+    def test_publish_attach_is_bit_identical(self, graph):
+        csr = CSRGraph.from_graph(graph)
+        lease = SharedCSRGraph.publish(csr)
+        try:
+            attached = pickle.loads(
+                pickle.dumps(lease.handle, pickle.HIGHEST_PROTOCOL)
+            ).attach()
+            try:
+                np.testing.assert_array_equal(attached.indptr, csr.indptr)
+                np.testing.assert_array_equal(attached.indices, csr.indices)
+                assert list(attached.nodes()) == list(csr.nodes())
+                np.testing.assert_array_equal(
+                    attached._neighbor_order, neighbor_order_array(csr)
+                )
+            finally:
+                attached.close()
+        finally:
+            lease.close()
+
+    def test_attached_arrays_are_read_only_views(self, graph):
+        lease = SharedCSRGraph.publish(CSRGraph.from_graph(graph))
+        try:
+            attached = lease.handle.attach()
+            try:
+                with pytest.raises((ValueError, TypeError)):
+                    attached.indices[0] = 0
+            finally:
+                attached.close()
+        finally:
+            lease.close()
+
+    def test_handle_stays_small_as_graph_grows(self):
+        sizes = []
+        for group_size in (5, 20, 60):
+            graph, _ = planted_partition(
+                [group_size] * 4, intra_prob=0.6, inter_prob=0.02, seed=1
+            )
+            lease = SharedCSRGraph.publish(CSRGraph.from_graph(graph))
+            try:
+                sizes.append(handle_nbytes(lease.handle))
+            finally:
+                lease.close()
+        assert all(size < 4096 for size in sizes)
+        # O(1): 12x more nodes must not mean 12x more handle.
+        assert sizes[-1] < 2 * sizes[0]
+
+    def test_handle_attaches_across_spawn(self, graph):
+        lease = SharedCSRGraph.publish(CSRGraph.from_graph(graph))
+        try:
+            payload = pickle.dumps(lease.handle, pickle.HIGHEST_PROTOCOL)
+            ctx = multiprocessing.get_context("spawn")
+            parent_conn, child_conn = ctx.Pipe()
+            child = ctx.Process(
+                target=_attach_in_child, args=(payload, child_conn)
+            )
+            child.start()
+            try:
+                assert parent_conn.poll(60), "spawn child never reported"
+                seen = parent_conn.recv()
+            finally:
+                child.join(timeout=60)
+            assert child.exitcode == 0
+            csr = CSRGraph.from_graph(graph)
+            assert seen == {
+                "num_nodes": csr.num_nodes,
+                "indptr_sum": int(csr.indptr.sum()),
+                "indices_sum": int(csr.indices.sum()),
+            }
+        finally:
+            lease.close()
+
+    def test_closed_lease_unlinks_segments(self, graph):
+        lease = SharedCSRGraph.publish(CSRGraph.from_graph(graph))
+        handle = lease.handle
+        lease.close()
+        assert lease.released
+        lease.close()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            handle.attach()
+
+    def test_lease_context_manager(self, graph):
+        with SharedCSRGraph.publish(CSRGraph.from_graph(graph)) as lease:
+            handle = lease.handle
+            assert lease.segment_nbytes > 0
+            assert len(lease.segment_names) == len(handle.segment_names)
+        with pytest.raises(FileNotFoundError):
+            handle.attach()
+
+
+# ------------------------------------------------------- ordered ego replay
+class TestOrderedEgoReplay:
+    @pytest.mark.parametrize("fixture", ["graph", "string_graph"])
+    def test_ordered_ego_matches_dict_backend(self, fixture, request):
+        source = request.getfixturevalue(fixture)
+        csr = CSRGraph.from_graph(source)
+        csr._neighbor_order = neighbor_order_array(csr)
+        csr._source = None  # detach: force the replay path
+        for ego in source.nodes():
+            replayed = ego_network_ordered(csr, ego)
+            direct = ego_network(source, ego)
+            assert list(replayed.nodes()) == list(direct.nodes())
+            for node in direct.nodes():
+                assert list(replayed.neighbors(node)) == list(
+                    direct.neighbors(node)
+                )
+
+
+# ------------------------------------------------------ division parity
+@needs_shm
+class TestTransportParity:
+    @pytest.mark.parametrize("transport", ["pickle", "shm", "auto"])
+    @pytest.mark.parametrize("fixture", ["graph", "string_graph"])
+    def test_pool_division_matches_clean_serial(
+        self, transport, fixture, request
+    ):
+        source = request.getfixturevalue(fixture)
+        clean = _serial_division(source)
+        with ShardedDivisionExecutor(
+            num_shards=3,
+            num_workers=2,
+            detector="label_propagation",
+            resilience=ResilienceConfig(transport=transport),
+        ) as executor:
+            pooled = executor.run(source)
+        assert (
+            pooled.division.communities_by_ego == clean.communities_by_ego
+        )
+
+    def test_shm_requires_csr_backend(self, graph):
+        executor = ShardedDivisionExecutor(
+            num_shards=2,
+            num_workers=2,
+            backend="dict",
+            resilience=ResilienceConfig(transport="shm"),
+        )
+        with pytest.raises(ExecutorError):
+            executor.run(graph)
+
+    def test_auto_degrades_to_pickle_for_dict_backend(self, graph):
+        with ShardedDivisionExecutor(
+            num_shards=2,
+            num_workers=2,
+            backend="dict",
+            detector="label_propagation",
+            resilience=ResilienceConfig(transport="auto"),
+        ) as executor:
+            report = executor.run(graph)
+        assert report.transport.transport == "pickle"
+        assert report.transport.payload_bytes > 0
+
+    def test_transport_accounting(self, graph):
+        with ShardedDivisionExecutor(
+            num_shards=2,
+            num_workers=2,
+            detector="label_propagation",
+            resilience=ResilienceConfig(transport="shm"),
+        ) as executor:
+            report = executor.run(graph)
+        stats = report.transport
+        assert stats.transport == "shm"
+        assert stats.num_workers == 2
+        assert 0 < stats.payload_bytes < 4096
+        assert stats.segment_bytes > 0
+        assert stats.shipped_bytes == stats.payload_bytes * 2
+        assert stats.peak_worker_rss_bytes > 0
+        # close() after run swept the published lease.
+        assert stats.swept_segments > 0
+
+    def test_serial_run_is_inline(self, graph):
+        report = ShardedDivisionExecutor(
+            num_shards=2, detector="label_propagation"
+        ).run(graph)
+        assert report.transport.transport == "inline"
+        assert report.transport.payload_bytes == 0
+        assert report.transport.peak_worker_rss_bytes > 0
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ModelConfigError):
+            ResilienceConfig(transport="carrier_pigeon").validate()
+
+
+# -------------------------------------------------------- worker teardown
+class TestWorkerTeardown:
+    def test_close_resets_worker_globals(self, graph):
+        executor = ShardedDivisionExecutor(
+            num_shards=2, detector="label_propagation"
+        )
+        executor.run(graph)
+        executor_module._WORKER_GRAPH = CSRGraph.from_graph(graph)
+        executor.close()
+        assert executor_module._WORKER_GRAPH is None
+        assert executor._prepared_graph is None
+        assert executor._lease is None
+
+    def test_context_manager_closes(self, graph):
+        with ShardedDivisionExecutor(
+            num_shards=2, detector="label_propagation"
+        ) as executor:
+            executor.run(graph)
+        assert executor._lease is None
+
+
+# ------------------------------------------------------------- leak sweep
+@needs_shm
+@pytest.mark.slow
+class TestLeaseSweepUnderFaults:
+    def _leaked_segments(self, before: set) -> set:
+        shm_dir = Path("/dev/shm")
+        if not shm_dir.is_dir():  # pragma: no cover - non-Linux
+            return set()
+        return {p.name for p in shm_dir.iterdir() if p.name.startswith("psm_")} - before
+
+    def test_killed_worker_rebuild_sweeps_segments(self, graph):
+        shm_dir = Path("/dev/shm")
+        before = (
+            {p.name for p in shm_dir.iterdir() if p.name.startswith("psm_")}
+            if shm_dir.is_dir()
+            else set()
+        )
+        plan = FaultPlan([Fault(0, 0, "kill")])
+        clean = _serial_division(graph)
+        with ShardedDivisionExecutor(
+            num_shards=3,
+            num_workers=2,
+            detector="label_propagation",
+            resilience=ResilienceConfig(
+                transport="shm", max_attempts=3, max_pool_rebuilds=2
+            ),
+            fault_plan=plan,
+            clock=FakeClock(),
+        ) as executor:
+            report = executor.run(graph)
+        assert report.pool_rebuilds >= 1
+        # The pre-rebuild lease was swept, then the end-of-run sweep covered
+        # the replacement: both generations of segments are accounted for.
+        assert report.transport.swept_segments >= 4
+        assert (
+            report.division.communities_by_ego == clean.communities_by_ego
+        )
+        assert self._leaked_segments(before) == set()
+
+
+# ----------------------------------------------------------- npz spill
+class TestCsrNpzSpill:
+    @pytest.fixture
+    def big_graph(self):
+        # Wider than one shard's worth of egos: 4 shards x 25 nodes.
+        graph, _ = planted_partition(
+            [20] * 5, intra_prob=0.5, inter_prob=0.03, seed=11
+        )
+        return graph
+
+    @pytest.mark.parametrize("mmap_mode", [None, "r"])
+    def test_round_trip_is_bit_identical(self, big_graph, tmp_path, mmap_mode):
+        csr = CSRGraph.from_graph(big_graph)
+        path = tmp_path / "graph.npz"
+        save_csr_npz(csr, path)
+        loaded = load_csr_npz(path, mmap_mode=mmap_mode)
+        np.testing.assert_array_equal(loaded.indptr, csr.indptr)
+        np.testing.assert_array_equal(loaded.indices, csr.indices)
+        assert list(loaded.nodes()) == list(csr.nodes())
+        np.testing.assert_array_equal(
+            loaded._neighbor_order, neighbor_order_array(csr)
+        )
+
+    def test_mmap_division_matches_serial(self, big_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_csr_npz(CSRGraph.from_graph(big_graph), path)
+        spilled = load_csr_npz(path, mmap_mode="r")
+        clean = _serial_division(big_graph, num_shards=4)
+        report = ShardedDivisionExecutor(
+            num_shards=4, detector="label_propagation"
+        ).run(spilled)
+        assert report.division.communities_by_ego == clean.communities_by_ego
+
+    def test_fingerprint_is_stable_and_content_bound(self, big_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_csr_npz(CSRGraph.from_graph(big_graph), path)
+        first = csr_npz_fingerprint(path)
+        assert first == csr_npz_fingerprint(path)
+        loaded = load_csr_npz(path, mmap_mode="r")
+        assert loaded.spill_identity == first
+
+    def test_spill_identity_feeds_checkpoint_fingerprint(self, big_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_csr_npz(CSRGraph.from_graph(big_graph), path)
+        shard = shard_nodes(list(big_graph.nodes()), num_shards=2)[0]
+        bare = shard_fingerprint(shard, "label_propagation")
+        spilled = shard_fingerprint(
+            shard, "label_propagation", csr_npz_fingerprint(path)
+        )
+        other = shard_fingerprint(shard, "label_propagation", "spill|0|deadbeef")
+        assert len({bare, spilled, other}) == 3
+
+
+# ----------------------------------------------------------- phase 2 shm
+@needs_shm
+class TestSharedPhase2Kernel:
+    def test_publish_attach_preserves_kernel_outputs(self):
+        workload = make_workload("tiny", seed=0)
+        dataset = workload.dataset
+        kernel = Phase2Kernel.compile(dataset.features, dataset.interactions)
+        probe = list(dataset.graph.nodes())[:6]
+        lease = SharedPhase2Kernel.publish(kernel)
+        try:
+            attached = pickle.loads(
+                pickle.dumps(lease.handle, pickle.HIGHEST_PROTOCOL)
+            ).attach()
+            try:
+                assert attached.num_nodes == kernel.num_nodes
+                np.testing.assert_array_equal(
+                    attached.intern(probe), kernel.intern(probe)
+                )
+                np.testing.assert_array_equal(
+                    attached.feature_rows(probe), kernel.feature_rows(probe)
+                )
+            finally:
+                attached.close()
+        finally:
+            lease.close()
+
+    def test_phase2_handle_is_small(self):
+        workload = make_workload("tiny", seed=0)
+        kernel = Phase2Kernel.compile(
+            workload.dataset.features, workload.dataset.interactions
+        )
+        with SharedPhase2Kernel.publish(kernel) as lease:
+            assert handle_nbytes(lease.handle) < 4096
+
+
+# -------------------------------------------------------- cost calibration
+class TestTransportCalibration:
+    def test_from_measurements_and_speedup(self):
+        calibration = TransportCalibration.from_measurements(
+            pickle_seconds=2.0,
+            attach_seconds=0.01,
+            publish_seconds=0.5,
+            graph_bytes=10_000_000,
+            handle_bytes=400,
+        )
+        assert calibration.attach_speedup == pytest.approx(200.0)
+        assert calibration.worker_startup_seconds("pickle") == 2.0
+        assert calibration.fleet_startup_seconds("pickle", 10) == 20.0
+        assert calibration.fleet_startup_seconds("shm", 10) == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(ModelConfigError):
+            TransportCalibration.from_measurements(-1.0, 0.1)
+        with pytest.raises(ModelConfigError):
+            TransportCalibration(1.0, 0.1, graph_bytes=-5).validate()
+        with pytest.raises(ModelConfigError):
+            TransportCalibration(1.0, 0.1).worker_startup_seconds("carrier")
+        with pytest.raises(ModelConfigError):
+            TransportCalibration(1.0, 0.1).fleet_startup_seconds("shm", 0)
+
+    def test_cost_model_startup_projection(self):
+        calibration = TransportCalibration.from_measurements(
+            pickle_seconds=3.6, attach_seconds=0.036, publish_seconds=3.6
+        )
+        model = CostModel(transport=calibration)
+        cluster = ClusterSpec(num_servers=10, cores_per_server=10)
+        pickle_hours = model.startup_overhead_hours("pickle", cluster)
+        shm_hours = model.startup_overhead_hours("shm", cluster)
+        assert pickle_hours == pytest.approx(0.1)
+        assert shm_hours == pytest.approx((0.036 * 100 + 3.6) / 3600.0)
+        assert shm_hours < pickle_hours
+
+    def test_cost_model_requires_calibration(self):
+        with pytest.raises(ModelConfigError):
+            CostModel().startup_overhead_hours("shm", ClusterSpec())
+
+    @needs_shm
+    def test_measure_transport_on_real_dataset(self):
+        dataset = make_workload("tiny", seed=0).dataset
+        calibration = measure_transport(dataset)
+        calibration.validate()
+        assert calibration.graph_bytes > calibration.handle_bytes > 0
+        assert calibration.handle_bytes < 4096
