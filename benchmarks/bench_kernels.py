@@ -133,6 +133,57 @@ def test_phase2_statistic_vectors_csr(benchmark, bench_workload):
     assert np.array_equal(design[0], dict_builder.statistic_vector(communities[0]))
 
 
+def test_phase2_statistic_vectors_sharded(benchmark, bench_workload):
+    """Sharded Phase II statistic vectors (in-process slice-and-merge).
+
+    Times the full sharded path — LPT partition, per-shard kernel calls,
+    positional merge — and asserts bit-identity against the serial CSR
+    builder.  The multi-worker *projection* lives in
+    ``scripts/perf_report.py`` (``phase2_sharded_dense_workers``), which
+    reports the runner's LPT makespan instead of local wall-clock.
+    """
+    dataset = bench_workload.dataset
+    serial_builder = FeatureMatrixBuilder(
+        dataset.features, dataset.interactions, k=20, backend="csr"
+    )
+    communities = list(bench_workload.division().all_communities())
+    with FeatureMatrixBuilder(
+        dataset.features,
+        dataset.interactions,
+        k=20,
+        backend="csr",
+        phase2_workers=1,
+        phase2_shards=4,
+    ) as sharded_builder:
+        sharded_builder.statistic_vectors(communities[:1])  # compile outside timing
+        design = run_once(
+            benchmark, lambda: sharded_builder.statistic_vectors(communities)
+        )
+        assert np.array_equal(design, serial_builder.statistic_vectors(communities))
+
+
+def test_phase2_tensor_sharded(benchmark, bench_workload):
+    """Sharded CommCNN tensor emission, bit-identical to the serial builder."""
+    dataset = bench_workload.dataset
+    serial_builder = FeatureMatrixBuilder(
+        dataset.features, dataset.interactions, k=20, backend="csr"
+    )
+    communities = list(bench_workload.division().all_communities())
+    with FeatureMatrixBuilder(
+        dataset.features,
+        dataset.interactions,
+        k=20,
+        backend="csr",
+        phase2_workers=1,
+        phase2_shards=4,
+    ) as sharded_builder:
+        sharded_builder.matrices_as_tensor(communities[:1])  # compile outside timing
+        tensor = run_once(
+            benchmark, lambda: sharded_builder.matrices_as_tensor(communities)
+        )
+        assert np.array_equal(tensor, serial_builder.matrices_as_tensor(communities))
+
+
 def _model_design(bench_workload):
     """Statistic-vector design matrix + deterministic labels for GBDT timing."""
     _, csr_builder, communities = _phase2_builders(bench_workload)

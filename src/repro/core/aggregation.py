@@ -28,14 +28,19 @@ in ``tests/test_phase2_csr.py`` arbitrates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.core.config import ResilienceConfig
 from repro.core.division import LocalCommunity, resolve_backend
 from repro.exceptions import FeatureError, PipelineError
 from repro.graph.features import NodeFeatureStore
 from repro.graph.interactions import InteractionStore
 from repro.types import Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (lazy at runtime)
+    from repro.runtime.phase2_exec import Phase2ExecutionReport, Phase2ShardedRunner
 
 
 def interact(
@@ -138,12 +143,31 @@ class FeatureMatrixBuilder:
         compiled :class:`~repro.graph.phase2.Phase2Kernel` path, ``"auto"``
         (default) to pick CSR when NumPy is available.  Both backends emit
         bit-identical matrices for integer-valued interaction counts.
+    phase2_workers:
+        0 (default) keeps aggregation single-process.  >= 1 routes every
+        batch entry point through the sharded Phase II runner
+        (:class:`~repro.runtime.phase2_exec.Phase2ShardedRunner`): the
+        compiled kernel is published to shared memory once and community
+        shards fan out across a process pool of this size (1 = in-process
+        shard + merge, useful for debugging the sharded path
+        deterministically).  Requires the CSR backend; outputs stay
+        bit-identical to the serial path.
+    phase2_shards:
+        Number of community shards per sharded call (default:
+        ``phase2_workers``).
+    resilience:
+        Fault-tolerance knobs for the sharded path (retries, per-shard
+        timeouts, ``on_shard_failure``, pool-rebuild budget, transport).
 
     Notes
     -----
     The CSR backend compiles the stores on first use and recompiles
     automatically when either store's write counter (``version``) changes,
     so mutating the stores between calls is as safe as on the dict backend.
+    The sharded runner inherits the same guard: store writes (or an explicit
+    :meth:`invalidate_kernel`) tear down the published shared-memory
+    snapshot and the pool serving it, so a stale snapshot can never serve a
+    mutated store.
     """
 
     def __init__(
@@ -152,21 +176,50 @@ class FeatureMatrixBuilder:
         interactions: InteractionStore,
         k: int = 20,
         backend: str = "auto",
+        phase2_workers: int = 0,
+        phase2_shards: int | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if k < 1:
             raise PipelineError("k must be >= 1")
+        if phase2_workers < 0:
+            raise PipelineError("phase2_workers must be >= 0")
+        if phase2_shards is not None and phase2_shards < 1:
+            raise PipelineError("phase2_shards must be >= 1")
+        if phase2_workers and resolve_backend(backend) != "csr":
+            raise PipelineError(
+                "phase2_workers requires the CSR aggregation backend "
+                f"(got backend={backend!r})"
+            )
         self.features = features
         self.interactions = interactions
         self.k = k
         self.backend = backend
+        self.phase2_workers = phase2_workers
+        self.phase2_shards = phase2_shards
+        self.resilience = resilience
         self._resolved_backend = resolve_backend(backend)
         self._kernel = None
         self._kernel_versions: tuple[int, int] | None = None
+        self._runner: "Phase2ShardedRunner | None" = None
+        self._runner_versions: tuple[int, int] | None = None
 
     @property
     def num_columns(self) -> int:
         """``|I| + |f|``: width of every feature matrix."""
         return self.interactions.num_dims + self.features.num_features
+
+    @property
+    def phase2_report(self) -> "Phase2ExecutionReport | None":
+        """Execution report of the most recent sharded Phase II call.
+
+        ``None`` until a batched entry point has routed through the sharded
+        runner (``phase2_workers >= 1``); carries shard timings, supervision
+        counters and transport accounting.
+        """
+        if self._runner is None:
+            return None
+        return self._runner.last_report
 
     def _compiled_kernel(self):
         """The lazily-compiled Phase II kernel (CSR backend only).
@@ -187,10 +240,62 @@ class FeatureMatrixBuilder:
 
         Staleness from ordinary store writes is detected automatically via
         the stores' ``version`` counters; this hook exists for callers that
-        mutate store internals out of band.
+        mutate store internals out of band.  Invalidation also tears down
+        the sharded runner — its published shared-memory lease and process
+        pool — so a stale shm snapshot can never serve a mutated store.
         """
         self._kernel = None
         self._kernel_versions = None
+        self._close_runner()
+
+    def close(self) -> None:
+        """Release sharded-path resources (pool + shm lease).  Idempotent."""
+        self._close_runner()
+
+    def __enter__(self) -> "FeatureMatrixBuilder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _close_runner(self) -> None:
+        runner, self._runner = self._runner, None
+        self._runner_versions = None
+        if runner is not None:
+            runner.close()
+
+    def _sharded_runner(self) -> "Phase2ShardedRunner":
+        """The cached sharded runner, rebuilt whenever the stores move on.
+
+        The runner carries a version probe bound to the live stores: even if
+        a caller holds onto a runner across an out-of-band mutation, every
+        call re-checks the snapshot against the stores' write counters and
+        raises :class:`~repro.exceptions.StalePhase2KernelError` rather than
+        serving stale matrices.
+        """
+        kernel = self._compiled_kernel()  # refreshes self._kernel_versions
+        if self._runner is not None and self._runner_versions == self._kernel_versions:
+            return self._runner
+        self._close_runner()
+        from repro.runtime.phase2_exec import Phase2ShardedRunner
+
+        self._runner = Phase2ShardedRunner(
+            kernel,
+            num_workers=self.phase2_workers,
+            num_shards=self.phase2_shards,
+            resilience=self.resilience,
+            source_versions=self._kernel_versions,
+            version_probe=lambda: (self.features.version, self.interactions.version),
+        )
+        self._runner_versions = self._kernel_versions
+        return self._runner
+
+    def _use_sharded(self, communities: Sequence[LocalCommunity]) -> bool:
+        return (
+            self.phase2_workers >= 1
+            and self._resolved_backend == "csr"
+            and len(communities) > 0
+        )
 
     # ------------------------------------------------------------- Algorithm 1
     def feature_matrix(self, community: LocalCommunity) -> CommunityFeatureMatrix:
@@ -200,15 +305,19 @@ class FeatureMatrixBuilder:
         return self._feature_matrix_dict(community)
 
     def feature_matrices(
-        self, communities: list[LocalCommunity]
+        self, communities: Sequence[LocalCommunity]
     ) -> list[CommunityFeatureMatrix]:
         """Algorithm 1 applied to a batch of communities."""
         if self._resolved_backend == "csr":
             return self._feature_matrices_csr(communities)
         return [self._feature_matrix_dict(community) for community in communities]
 
-    def matrices_as_tensor(self, communities: list[LocalCommunity]) -> np.ndarray:
+    def matrices_as_tensor(self, communities: Sequence[LocalCommunity]) -> np.ndarray:
         """Stack feature matrices into a ``(n, 1, k, |I|+|f|)`` CNN input tensor."""
+        if self._use_sharded(communities):
+            return self._sharded_runner().tensor(
+                self._truncated_selection(communities), k=self.k
+            )
         if self._resolved_backend == "csr" and communities:
             # Direct kernel->CNN tensor path: the batch rows are scattered
             # into the padded tensor inside the kernel — no intermediate
@@ -239,7 +348,7 @@ class FeatureMatrixBuilder:
         )
 
     def _truncated_selection(
-        self, communities: list[LocalCommunity]
+        self, communities: Sequence[LocalCommunity]
     ) -> list[tuple[frozenset[Node], list[Node]]]:
         """``(members, k-truncated tightness ordering)`` pairs — the
         :class:`~repro.graph.phase2.Phase2Kernel` batch-API contract, built
@@ -250,16 +359,18 @@ class FeatureMatrixBuilder:
         ]
 
     def _batch_rows_csr(
-        self, communities: list[LocalCommunity]
+        self, communities: Sequence[LocalCommunity]
     ) -> tuple[list[list[Node]], np.ndarray, np.ndarray]:
         """Tightness-ordered (truncated) member lists + their batch rows."""
-        kernel = self._compiled_kernel()
         pairs = self._truncated_selection(communities)
-        rows, offsets = kernel.community_rows_batch(pairs)
+        if self._use_sharded(communities):
+            rows, offsets = self._sharded_runner().rows_batch(pairs)
+        else:
+            rows, offsets = self._compiled_kernel().community_rows_batch(pairs)
         return [ordered for _, ordered in pairs], rows, offsets
 
     def _feature_matrices_csr(
-        self, communities: list[LocalCommunity]
+        self, communities: Sequence[LocalCommunity]
     ) -> list[CommunityFeatureMatrix]:
         """Vectorized Algorithm 1: one batched row computation, then fills."""
         ordered_lists, rows, offsets = self._batch_rows_csr(communities)
@@ -288,13 +399,27 @@ class FeatureMatrixBuilder:
         """
         return self.statistic_vectors([community])[0]
 
-    def statistic_vectors(self, communities: list[LocalCommunity]) -> np.ndarray:
-        """Stack per-community statistic vectors into a 2-D design matrix."""
+    def statistic_vectors(self, communities: Sequence[LocalCommunity]) -> np.ndarray:
+        """Stack per-community statistic vectors into a 2-D design matrix.
+
+        The merge target is allocated exactly once here and threaded through
+        every fill path in place — the serial kernel writes into it directly
+        (:meth:`Phase2Kernel.community_statistics` with ``out=``) and the
+        sharded runner scatters worker blocks into it positionally — so no
+        path pays a second design-matrix allocation per call.
+        """
         out = np.zeros((len(communities), 2 * self.num_columns + 1), dtype=np.float64)
         if not communities:
             return out
         if self._resolved_backend == "csr":
-            self._fill_statistic_vectors_csr(communities, out)
+            pairs = [
+                (community.members, community.members_by_tightness())
+                for community in communities
+            ]
+            if self._use_sharded(communities):
+                self._sharded_runner().statistics(pairs, out=out)
+            else:
+                self._compiled_kernel().community_statistics(pairs, out=out)
         else:
             for index, community in enumerate(communities):
                 self._fill_statistic_vector_dict(community, out[index])
@@ -316,42 +441,3 @@ class FeatureMatrixBuilder:
         out[:columns] = rows.mean(axis=0)
         out[columns : 2 * columns] = rows.std(axis=0)
         out[-1] = float(len(members))
-
-    def _fill_statistic_vectors_csr(
-        self, communities: list[LocalCommunity], out: np.ndarray
-    ) -> None:
-        """Vectorized statistic aggregation: batched rows, segment mean/std.
-
-        The segment reductions replay exactly the arithmetic of
-        ``rows.mean(axis=0)`` / ``rows.std(axis=0)`` on each community's row
-        block — sequential sums in row order, one divide, one sqrt — so the
-        result is bit-identical to the dict path (the parity suite checks
-        this property directly against NumPy's reductions).
-        """
-        kernel = self._compiled_kernel()
-        columns = self.num_columns
-        ordered_lists = [community.members_by_tightness() for community in communities]
-        rows, offsets = kernel.community_rows_batch(
-            [
-                (community.members, ordered)
-                for community, ordered in zip(communities, ordered_lists)
-            ]
-        )
-        num_comms = len(communities)
-        counts = np.diff(offsets)
-        comm_of_row = np.repeat(np.arange(num_comms), counts)
-        sums = np.empty((num_comms, columns))
-        for column in range(columns):
-            sums[:, column] = np.bincount(
-                comm_of_row, weights=rows[:, column], minlength=num_comms
-            )
-        mean = sums / counts[:, None]
-        deviations = rows - mean[comm_of_row]
-        deviations *= deviations
-        for column in range(columns):
-            sums[:, column] = np.bincount(
-                comm_of_row, weights=deviations[:, column], minlength=num_comms
-            )
-        out[:, :columns] = mean
-        out[:, columns : 2 * columns] = np.sqrt(sums / counts[:, None])
-        out[:, -1] = counts

@@ -108,7 +108,7 @@ class CNNCommunityClassifier(CommunityClassifier):
             raise PipelineError("communities and labels must have the same length")
         if not communities:
             raise PipelineError("cannot fit the community classifier on zero communities")
-        tensor = self.builder.matrices_as_tensor(list(communities))
+        tensor = self.builder.matrices_as_tensor(communities)
         # Column-wise scaling: interaction shares live in [0, 1] but individual
         # features (age buckets, tenure years, ...) do not; without scaling the
         # convolutions are dominated by whichever column has the largest range.
@@ -129,7 +129,7 @@ class CNNCommunityClassifier(CommunityClassifier):
             raise NotFittedError(self)
         if not communities:
             return np.zeros((0, self.num_classes))
-        tensor = self.builder.matrices_as_tensor(list(communities))
+        tensor = self.builder.matrices_as_tensor(communities)
         assert self._column_scale is not None
         return self._classifier.predict_proba(tensor / self._column_scale)
 
@@ -165,7 +165,7 @@ class GBDTCommunityClassifier(CommunityClassifier):
             raise PipelineError("communities and labels must have the same length")
         if not communities:
             raise PipelineError("cannot fit the community classifier on zero communities")
-        design = self.builder.statistic_vectors(list(communities))
+        design = self.builder.statistic_vectors(communities)
         self._model = GradientBoostedClassifier(
             num_rounds=self.config.num_rounds,
             learning_rate=self.config.learning_rate,
@@ -185,7 +185,7 @@ class GBDTCommunityClassifier(CommunityClassifier):
             raise NotFittedError(self)
         if not communities:
             return np.zeros((0, self.num_classes))
-        design = self.builder.statistic_vectors(list(communities))
+        design = self.builder.statistic_vectors(communities)
         return self._model.predict_proba(design)
 
     def result_vectors(self, communities: Sequence[LocalCommunity]) -> np.ndarray:
@@ -194,7 +194,7 @@ class GBDTCommunityClassifier(CommunityClassifier):
             raise NotFittedError(self)
         if not communities:
             return np.zeros((0, self.result_vector_length))
-        design = self.builder.statistic_vectors(list(communities))
+        design = self.builder.statistic_vectors(communities)
         probabilities = self._model.predict_proba(design)
         leaf_values = self._model.leaf_values(design)
         # Leaf columns cycle through classes within each round: reduce them to

@@ -191,6 +191,14 @@ class LoCECConfig:
         ``"fused"``, or ``"loop"`` (layer-by-layer reference).  Logits,
         fitted weights and loss histories are bit-identical either way.
         A non-``"auto"`` value overrides ``cnn.nn_backend``.
+    phase2_workers:
+        0 (default) runs Phase II aggregation single-process.  >= 1 routes
+        the batched aggregation entry points through the sharded Phase II
+        runner (:class:`repro.runtime.phase2_exec.Phase2ShardedRunner`): the
+        compiled kernel is published to shared memory once and community
+        shards fan out across a process pool of this size.  Requires the
+        CSR backend (``backend="auto"`` resolves to it whenever NumPy is
+        available); outputs are bit-identical to the serial path.
     min_community_size:
         Communities smaller than this are still classified (the paper keeps
         singletons with tightness 1); the knob exists for ablations only.
@@ -206,6 +214,7 @@ class LoCECConfig:
     backend: str = "auto"
     ml_backend: str = "auto"
     nn_backend: str = "auto"
+    phase2_workers: int = 0
     min_community_size: int = 1
     edge_lr_iterations: int = 400
     edge_lr_learning_rate: float = 0.5
@@ -246,6 +255,13 @@ class LoCECConfig:
         if self.nn_backend not in {"auto", "loop", "fused"}:
             raise ModelConfigError(
                 f"nn_backend must be 'auto', 'loop' or 'fused', got {self.nn_backend!r}"
+            )
+        if self.phase2_workers < 0:
+            raise ModelConfigError("phase2_workers must be >= 0")
+        if self.phase2_workers and self.backend == "dict":
+            raise ModelConfigError(
+                "phase2_workers requires the CSR aggregation backend; "
+                "set backend='auto' or 'csr'"
             )
         if self.min_community_size < 1:
             raise ModelConfigError("min_community_size must be >= 1")

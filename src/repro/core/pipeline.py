@@ -162,11 +162,17 @@ class LoCEC:
 
         # Phase II: aggregation + community classification.
         start = self._clock.perf_counter()
+        if self.feature_builder_ is not None:
+            # Refit: release the previous builder's sharded-path resources
+            # (process pool + published shared-memory lease) before replacing.
+            self.feature_builder_.close()
         self.feature_builder_ = FeatureMatrixBuilder(
             features=features,
             interactions=interactions,
             k=self.config.k,
             backend=self.config.backend,
+            phase2_workers=self.config.phase2_workers,
+            resilience=self.config.resilience,
         )
         label_index = EdgeLabelIndex(labeled_edges)
         train_communities, community_labels = labeled_communities(
@@ -241,7 +247,7 @@ class LoCEC:
         assert self.community_classifier_ is not None
         if not communities:
             return {}
-        vectors = self.community_classifier_.result_vectors(list(communities))
+        vectors = self.community_classifier_.result_vectors(communities)
         return {
             community_key(community): vectors[index]
             for index, community in enumerate(communities)

@@ -342,6 +342,54 @@ class Phase2Kernel:
         )
         return rows, offsets
 
+    def community_statistics(
+        self,
+        communities: Sequence[tuple[Collection[Node], Sequence[Node]]],
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Mean/std statistic vectors for a batch of communities.
+
+        Each item is ``(members, ordered)`` where ``ordered`` is the full
+        tightness ordering (not truncated to ``k``); row ``c`` of the result
+        is the ``2 * (|I| + |f|) + 1`` LoCEC-XGB vector — mean block, std
+        block, community size.  The segment reductions replay exactly the
+        arithmetic of ``rows.mean(axis=0)`` / ``rows.std(axis=0)`` on each
+        community's row block — sequential sums in row order, one divide,
+        one sqrt — so the result is bit-identical to the dict aggregation
+        path, and (because every reduction is per-community) independent of
+        how the batch is split: computing a shard's communities alone yields
+        the same rows as computing them inside the full batch.  That
+        invariance is what the sharded Phase II runner relies on.
+
+        ``out`` (optional) is the preallocated target to fill in place; a
+        fresh zero matrix is allocated when omitted.
+        """
+        num_comms = len(communities)
+        columns = self.interactions.num_dims + self.features.num_features
+        if out is None:
+            out = np.zeros((num_comms, 2 * columns + 1), dtype=np.float64)
+        if num_comms == 0:
+            return out
+        rows, offsets = self.community_rows_batch(communities)
+        counts = np.diff(offsets)
+        comm_of_row = np.repeat(np.arange(num_comms), counts)
+        sums = np.empty((num_comms, columns))
+        for column in range(columns):
+            sums[:, column] = np.bincount(
+                comm_of_row, weights=rows[:, column], minlength=num_comms
+            )
+        mean = sums / counts[:, None]
+        deviations = rows - mean[comm_of_row]
+        deviations *= deviations
+        for column in range(columns):
+            sums[:, column] = np.bincount(
+                comm_of_row, weights=deviations[:, column], minlength=num_comms
+            )
+        out[:, :columns] = mean
+        out[:, columns : 2 * columns] = np.sqrt(sums / counts[:, None])
+        out[:, -1] = counts
+        return out
+
     def community_share_rows(
         self, communities: Sequence[tuple[Collection[Node], Sequence[Node]]]
     ) -> list[np.ndarray]:

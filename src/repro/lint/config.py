@@ -22,14 +22,22 @@ from typing import Dict, Tuple
 _LIBRARY = ("src/repro",)
 _LIBRARY_AND_SCRIPTS = ("src/repro", "scripts")
 _EVERYTHING = ("src/repro", "scripts", "benchmarks")
+# The multiprocessing supervisors ship callables and shared-memory leases
+# across process boundaries; the MP rules MUST stay in scope for them even
+# if the broad src/repro prefix is ever narrowed.  (Both files are already
+# inside _EVERYTHING; listing them pins the invariant.)
+_MP_CRITICAL = _EVERYTHING + (
+    "src/repro/runtime/executor.py",
+    "src/repro/runtime/phase2_exec.py",
+)
 
 DEFAULT_RULE_SCOPES: Dict[str, Tuple[str, ...]] = {
     "DET001": _LIBRARY_AND_SCRIPTS,
     "DET002": _LIBRARY_AND_SCRIPTS,
     "PAR001": _LIBRARY,  # project rule: src side of the cross-reference
-    "MP001": _EVERYTHING,
+    "MP001": _MP_CRITICAL,
     "MP002": _LIBRARY,
-    "MP003": _EVERYTHING,
+    "MP003": _MP_CRITICAL,
     "NPY001": _EVERYTHING,
     "NPY002": _EVERYTHING,
     "NPY003": _EVERYTHING,

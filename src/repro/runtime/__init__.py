@@ -1,10 +1,12 @@
-"""Distributed-processing substrate: sharding, supervised executor,
-resilience/fault-injection layer and the WeChat-scale cost model."""
+"""Distributed-processing substrate: sharding, supervised executors for
+Phases I and II, resilience/fault-injection layer and the WeChat-scale cost
+model."""
 
 from repro.runtime.cost_model import (
     ClusterSpec,
     CostCalibration,
     CostModel,
+    Phase2ScalingCalibration,
     RuntimeEstimate,
     TransportCalibration,
     WorkloadSpec,
@@ -22,6 +24,13 @@ from repro.runtime.faultinject import (
     PermanentInjectedError,
     TransientInjectedError,
 )
+from repro.runtime.phase2_exec import (
+    Phase2ExecutionReport,
+    Phase2Shard,
+    Phase2ShardedRunner,
+    Phase2ShardReport,
+    shard_communities,
+)
 from repro.runtime.resilience import (
     Clock,
     FakeClock,
@@ -35,6 +44,7 @@ from repro.runtime.scalability import (
     ChaosReport,
     MeasuredPhaseTimes,
     ScalabilityStudy,
+    measure_phase2_scaling,
     measure_phases,
     measure_transport,
     measure_worker_scaling,
@@ -51,6 +61,11 @@ __all__ = [
     "ExecutionReport",
     "ShardReport",
     "TransportStats",
+    "Phase2ShardedRunner",
+    "Phase2ExecutionReport",
+    "Phase2ShardReport",
+    "Phase2Shard",
+    "shard_communities",
     "ShardFailure",
     "RetryPolicy",
     "Clock",
@@ -66,12 +81,14 @@ __all__ = [
     "CostModel",
     "CostCalibration",
     "TransportCalibration",
+    "Phase2ScalingCalibration",
     "ClusterSpec",
     "WorkloadSpec",
     "RuntimeEstimate",
     "ScalabilityStudy",
     "MeasuredPhaseTimes",
     "measure_phases",
+    "measure_phase2_scaling",
     "measure_transport",
     "measure_worker_scaling",
     "ChaosReport",

@@ -22,6 +22,7 @@ from repro.runtime.cost_model import (
     ClusterSpec,
     CostCalibration,
     CostModel,
+    Phase2ScalingCalibration,
     RuntimeEstimate,
     TransportCalibration,
     WorkloadSpec,
@@ -58,6 +59,13 @@ class MeasuredPhaseTimes:
     payload vs segment bytes, peak worker RSS).  ``None`` unless
     :func:`measure_phases` ran Phase I through the shard executor
     (``num_workers > 1``)."""
+    phase2_transport_stats: TransportStats | None = None
+    """Kernel-shipping accounting of the Phase II run.  ``None`` unless
+    :func:`measure_phases` ran Phase II through the sharded runner
+    (``phase2_workers >= 1``)."""
+    phase2_makespan_seconds: float = 0.0
+    """Projected sharded Phase II makespan (LPT shard packing onto
+    ``phase2_workers`` + parent overhead); 0 on the serial path."""
 
     @property
     def total_seconds(self) -> float:
@@ -90,6 +98,7 @@ def measure_phases(
     num_workers: int = 1,
     num_shards: int = 4,
     transport: str = "auto",
+    phase2_workers: int = 0,
     clock: Clock | None = None,
 ) -> MeasuredPhaseTimes:
     """Time the three LoCEC phases on a real (synthetic) dataset.
@@ -111,6 +120,10 @@ def measure_phases(
     ``"auto"``/``"pickle"``/``"shm"``) and the returned
     :class:`MeasuredPhaseTimes` carries the run's
     :class:`~repro.runtime.executor.TransportStats`.
+    With ``phase2_workers >= 1`` Phase II aggregation routes through the
+    sharded runner (:class:`repro.runtime.phase2_exec.Phase2ShardedRunner`,
+    bit-identical outputs) and the result carries the kernel-shipping
+    ``phase2_transport_stats`` plus the projected ``phase2_makespan_seconds``.
     ``clock`` injects the time source (default :class:`repro.clock.
     SystemClock`); tests inject a ``FakeClock`` to get deterministic timings.
     """
@@ -141,17 +154,28 @@ def measure_phases(
     phase1_seconds = clock.perf_counter() - start
 
     builder = FeatureMatrixBuilder(
-        dataset.features, dataset.interactions, k=k, backend=backend
+        dataset.features,
+        dataset.interactions,
+        k=k,
+        backend=backend,
+        phase2_workers=phase2_workers,
     )
     communities = list(division.all_communities())
     if communities:
-        # Warm the once-per-fit kernel compilation outside the timed region
-        # (mirroring scripts/perf_report.py) so phase2_seconds stays a pure
-        # per-item cost.
+        # Warm the once-per-fit kernel compilation (and, on the sharded
+        # path, the one-time shm publish + pool spin-up) outside the timed
+        # region (mirroring scripts/perf_report.py) so phase2_seconds stays
+        # a pure per-item cost.
         builder.feature_matrices(communities[:1])
     start = clock.perf_counter()
     builder.feature_matrices(communities)
     phase2_seconds = clock.perf_counter() - start
+    phase2_transport_stats: TransportStats | None = None
+    phase2_makespan = 0.0
+    phase2_report = builder.phase2_report
+    if phase2_report is not None:
+        phase2_transport_stats = phase2_report.transport
+        phase2_makespan = phase2_report.makespan_seconds
 
     gbdt_fit_seconds = forest_predict_seconds = commcnn_tensor_seconds = 0.0
     commcnn_fit_seconds = commcnn_predict_seconds = 0.0
@@ -208,6 +232,7 @@ def measure_phases(
         division.community_containing(u, v)
     phase3_seconds = clock.perf_counter() - start
 
+    builder.close()  # release sharded-path resources (pool + shm lease)
     return MeasuredPhaseTimes(
         num_nodes=len(egos),
         num_edges=len(edges),
@@ -221,6 +246,8 @@ def measure_phases(
         commcnn_fit_seconds=commcnn_fit_seconds,
         commcnn_predict_seconds=commcnn_predict_seconds,
         transport_stats=transport_stats,
+        phase2_transport_stats=phase2_transport_stats,
+        phase2_makespan_seconds=phase2_makespan,
     )
 
 
@@ -269,6 +296,64 @@ def measure_transport(
         publish_seconds=publish_seconds,
         graph_bytes=len(payload),
         handle_bytes=len(handle_payload),
+    )
+
+
+def measure_phase2_scaling(
+    dataset: SocialNetworkDataset,
+    num_workers: int = 4,
+    detector: str = "label_propagation",
+    max_egos: int | None = 200,
+    clock: Clock | None = None,
+) -> Phase2ScalingCalibration:
+    """Measure serial-vs-sharded Phase II aggregation scaling on a real run.
+
+    Times the serial batched statistic-vector kernel over the full community
+    batch, then the sharded path with ``num_workers`` shards executed
+    in-process — like :func:`measure_worker_scaling`, the parallel side is
+    projected from per-shard compute seconds (the runner's LPT makespan
+    model) so the calibration is deterministic and independent of the host's
+    actual core count.  Returns a
+    :class:`~repro.runtime.cost_model.Phase2ScalingCalibration` ready to hand
+    to :class:`~repro.runtime.cost_model.CostModel` (crossover community
+    count, projected speedups).
+    """
+    from repro.graph.phase2 import Phase2Kernel
+    from repro.runtime.phase2_exec import Phase2ShardedRunner
+
+    clock = clock or SystemClock()
+    egos = list(dataset.graph.nodes())
+    if max_egos is not None:
+        egos = egos[:max_egos]
+    division = divide(dataset.graph, egos=egos, detector=detector)
+    communities = list(division.all_communities())
+    if not communities:
+        raise ValueError("dataset produced no communities to calibrate on")
+    pairs = [
+        (community.members, community.members_by_tightness())
+        for community in communities
+    ]
+
+    kernel = Phase2Kernel.compile(dataset.features, dataset.interactions)
+    kernel.community_statistics(pairs[:1])  # warm any lazy allocations
+    start = clock.perf_counter()
+    kernel.community_statistics(pairs)
+    serial_seconds = clock.perf_counter() - start
+
+    with Phase2ShardedRunner(
+        kernel, num_workers=1, num_shards=num_workers
+    ) as runner:
+        runner.statistics(pairs)
+        report = runner.last_report
+    assert report is not None
+    # Floor the measured spans at 1ns: validate() demands positive costs and
+    # very fast hosts (or an injected FakeClock) can report a zero span.
+    return Phase2ScalingCalibration.from_measurements(
+        serial_seconds=max(serial_seconds, 1e-9),
+        sharded_compute_seconds=max(report.total_seconds, 1e-9),
+        sharded_overhead_seconds=max(report.parent_seconds, 0.0),
+        num_communities=len(communities),
+        num_workers=num_workers,
     )
 
 
@@ -323,6 +408,17 @@ class ChaosReport:
     """Resolved graph transport of the faulted run."""
     swept_segments: int = 0
     """Shared-memory segments unlinked by rebuild/finalizer sweeps."""
+    phase2_identical: bool | None = None
+    """Phase II leg: all three sharded aggregation entry points bit-identical
+    to the serial kernel under the fault schedule.  ``None`` when the chaos
+    run did not exercise Phase II (``phase2_workers == 0``)."""
+    phase2_injected_faults: int = 0
+    phase2_retries: int = 0
+    phase2_timeouts: int = 0
+    phase2_pool_rebuilds: int = 0
+    phase2_degraded_to_serial: bool = False
+    phase2_transport: str = "inline"
+    """Resolved kernel transport of the faulted Phase II runs."""
 
     def to_text(self) -> str:
         lines = [
@@ -341,6 +437,19 @@ class ChaosReport:
             f"failed shards    : {self.failed_shards or 'none'}",
             f"identical to clean run: {self.identical_to_clean}",
         ]
+        if self.phase2_identical is not None:
+            lines += [
+                f"phase2 faults    : {self.phase2_injected_faults} injected, "
+                f"{self.phase2_retries} retries, {self.phase2_timeouts} timeouts",
+                f"phase2 rebuilds  : {self.phase2_pool_rebuilds}"
+                + (
+                    " (degraded to serial)"
+                    if self.phase2_degraded_to_serial
+                    else ""
+                ),
+                f"phase2 transport : {self.phase2_transport}",
+                f"phase2 identical to serial kernel: {self.phase2_identical}",
+            ]
         return "\n".join(lines)
 
 
@@ -356,6 +465,7 @@ def run_chaos(
     shard_timeout: float = 30.0,
     kinds: tuple[str, ...] = ("transient", "hang", "kill"),
     transport: str = "auto",
+    phase2_workers: int = 0,
 ) -> ChaosReport:
     """Chaos knob: run the shard executor under a seeded fault schedule.
 
@@ -364,6 +474,13 @@ def run_chaos(
     runs the supervised executor with an injected
     :class:`~repro.runtime.resilience.FakeClock` (no real backoff sleeps),
     and compares the merged division against a clean run of the same egos.
+
+    With ``phase2_workers >= 1`` the run grows a second leg: all three
+    sharded Phase II aggregation entry points
+    (:class:`~repro.runtime.phase2_exec.Phase2ShardedRunner`) execute under
+    their own seeded fault schedule over the clean division's communities,
+    and each merged array is compared bit-for-bit against the serial kernel
+    (``phase2_identical``).
     """
     from repro.core.config import ResilienceConfig
     from repro.runtime.faultinject import FaultPlan
@@ -401,6 +518,70 @@ def run_chaos(
         num_shards=num_shards, num_workers=1, detector=detector
     ).run(dataset.graph, egos=egos)
 
+    phase2_identical: bool | None = None
+    phase2_faults = phase2_retries = phase2_timeouts = phase2_rebuilds = 0
+    phase2_degraded = False
+    phase2_transport = "inline"
+    if phase2_workers > 0:
+        import numpy as np
+
+        from repro.graph.phase2 import Phase2Kernel
+        from repro.runtime.phase2_exec import (
+            Phase2ExecutionReport,
+            Phase2ShardedRunner,
+        )
+
+        communities = list(clean.division.all_communities())
+        k = 20
+        tensor_pairs = [
+            (community.members, community.members_by_tightness()[:k])
+            for community in communities
+        ]
+        stat_pairs = [
+            (community.members, community.members_by_tightness())
+            for community in communities
+        ]
+        kernel = Phase2Kernel.compile(dataset.features, dataset.interactions)
+        phase2_shards = max(2, phase2_workers)
+        phase2_plan = FaultPlan.random(
+            list(range(phase2_shards)),
+            seed=seed + 1,
+            fault_rate=fault_rate,
+            max_attempts=resilience.max_attempts,
+            kinds=kinds,
+        )
+        reports: list[Phase2ExecutionReport | None] = []
+        with Phase2ShardedRunner(
+            kernel,
+            num_workers=phase2_workers,
+            num_shards=phase2_shards,
+            resilience=resilience,
+            fault_plan=phase2_plan,
+            clock=FakeClock(),
+        ) as runner:
+            rows, offsets = runner.rows_batch(tensor_pairs)
+            reports.append(runner.last_report)
+            stats = runner.statistics(stat_pairs)
+            reports.append(runner.last_report)
+            tensor = runner.tensor(tensor_pairs, k=k)
+            reports.append(runner.last_report)
+        serial_rows, serial_offsets = kernel.community_rows_batch(tensor_pairs)
+        phase2_identical = (
+            np.array_equal(rows, serial_rows)
+            and np.array_equal(offsets, serial_offsets)
+            and np.array_equal(stats, kernel.community_statistics(stat_pairs))
+            and np.array_equal(tensor, kernel.community_tensor(tensor_pairs, k))
+        )
+        phase2_faults = len(phase2_plan)
+        phase2_retries = sum(r.total_retries for r in reports if r is not None)
+        phase2_timeouts = sum(r.total_timeouts for r in reports if r is not None)
+        phase2_rebuilds = sum(r.pool_rebuilds for r in reports if r is not None)
+        phase2_degraded = any(r.degraded_to_serial for r in reports if r is not None)
+        phase2_transport = next(
+            (r.transport.transport for r in reversed(reports) if r is not None),
+            "inline",
+        )
+
     return ChaosReport(
         num_shards=num_shards,
         completed_shards=len(faulted.shard_reports),
@@ -415,6 +596,13 @@ def run_chaos(
         ),
         transport=faulted.transport.transport,
         swept_segments=faulted.transport.swept_segments,
+        phase2_identical=phase2_identical,
+        phase2_injected_faults=phase2_faults,
+        phase2_retries=phase2_retries,
+        phase2_timeouts=phase2_timeouts,
+        phase2_pool_rebuilds=phase2_rebuilds,
+        phase2_degraded_to_serial=phase2_degraded,
+        phase2_transport=phase2_transport,
     )
 
 

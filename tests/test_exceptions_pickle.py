@@ -51,6 +51,7 @@ from repro.exceptions import (
     SelfLoopError,
     ShardFailedError,
     ShardTimeoutError,
+    StalePhase2KernelError,
     TrainingDivergedError,
     WorkerCrashError,
 )
@@ -87,6 +88,7 @@ REPRESENTATIVES = [
     # test CPython, not this hierarchy.
     RetryExhaustedError(4, 5, RuntimeError("still down")),
     ShardTimeoutError(2, 1.5),
+    StalePhase2KernelError((3, 4), (3, 5)),
     WorkerCrashError(6, "hard kill"),
     WorkerCrashError(),
     CheckpointError("cannot write shard 3 checkpoint"),
