@@ -15,16 +15,19 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
 from repro.community.betweenness import edge_betweenness
 from repro.core.aggregation import FeatureMatrixBuilder
 from repro.core.commcnn import build_commcnn_classifier
-from repro.core.config import CommCNNConfig
+from repro.core.config import CommCNNConfig, LoCECConfig
 from repro.core.division import divide
+from repro.core.pipeline import LoCEC
 from repro.graph.csr import CSRGraph, edge_betweenness_csr, ego_network_csr
 from repro.graph.ego import ego_network
 from repro.graph.shm import SharedCSRGraph, shm_supported
 from repro.ml.gbdt import GradientBoostedClassifier
+from repro.serve import ServingSession, replay_traffic
+from repro.synthetic import make_workload
 
 
 def test_ego_extraction_csr(benchmark, bench_workload):
@@ -322,3 +325,64 @@ def test_commcnn_predict_fused(benchmark, bench_workload):
     fused_clf.predict_proba(tensor)  # grow inference workspaces outside timing
     proba = run_once(benchmark, lambda: fused_clf.predict_proba(tensor))
     assert np.array_equal(proba, loop_clf.predict_proba(tensor))
+
+
+# The serving benchmarks build private workloads: ``apply_updates`` and the
+# replay driver mutate the graph/stores and splice the division in place,
+# which would corrupt the session-scoped ``bench_workload``.
+def _serving_fit(workload):
+    config = LoCECConfig.locec_xgb(seed=0)
+    config.gbdt.num_rounds = 10
+    pipeline = LoCEC(config)
+    pipeline.fit(
+        workload.dataset.graph,
+        features=workload.dataset.features,
+        interactions=workload.dataset.interactions,
+        labeled_edges=workload.train_edges,
+    )
+    return pipeline
+
+
+def test_serving_incremental_update(benchmark):
+    """One ``apply_updates`` batch, asserted bit-identical to a scratch fit."""
+    workload = make_workload(BENCH_SCALE, seed=BENCH_SEED)
+    graph = workload.dataset.graph
+    pipeline = _serving_fit(workload)
+    # Idempotent re-add of the sparsest edge: the smallest dirty set, and a
+    # per-op cost that is stable across benchmark rounds.
+    edge = min(
+        graph.edges(), key=lambda e: len(graph.neighbors(e[0]) & graph.neighbors(e[1]))
+    )
+    delta = np.ones(workload.dataset.interactions.num_dims)
+
+    def update():
+        return pipeline.apply_updates(
+            added_edges=[edge],
+            interaction_deltas=[(edge[0], edge[1], delta)],
+        )
+
+    report = run_once(benchmark, update)
+    assert not report.degraded
+    baseline = make_workload(BENCH_SCALE, seed=BENCH_SEED)
+    inter = baseline.dataset.interactions
+    inter.set_vector(edge[0], edge[1], inter.vector(*edge) + delta)
+    scratch = _serving_fit(baseline)
+    queries = [item.edge for item in workload.test_edges]
+    assert np.array_equal(
+        pipeline.predict_edge_proba(queries), scratch.predict_edge_proba(queries)
+    )
+
+
+def test_serving_replay(benchmark):
+    """Sustained update + query traffic through a ServingSession."""
+    workload = make_workload(BENCH_SCALE, seed=BENCH_SEED)
+    with ServingSession(_serving_fit(workload)) as session:
+        report = run_once(
+            benchmark,
+            lambda: replay_traffic(
+                session, num_batches=6, queries_per_batch=32, seed=0
+            ),
+        )
+    assert report.num_queries == 6 * 32
+    assert report.num_degraded_updates == 0
+    assert report.stale_egos == ()

@@ -59,6 +59,7 @@ SPEEDUP_PAIRS = (
     ("_hist", "_array", "_hist"),
     ("_shm", "_pickle", ""),
     ("_workers", "_serial", ""),
+    ("_incremental", "_full", ""),
 )
 
 #: Worker count the sharded Phase II benchmarks project onto.  The runner
@@ -451,6 +452,86 @@ def build_benchmarks(
         benchmarks[f"commcnn_predict_{model_scale}_{backend}"] = (
             lambda m=cnn_fitted[backend], t=tensor: m.predict_proba(t)
         )
+
+    # Serving-layer benchmarks.  ``serving_update_{scale}_{incremental,full}``
+    # is the headline pair of the online layer: one ``LoCEC.apply_updates``
+    # batch (a single touched friendship edge + one interaction delta, chosen
+    # so the dirty-ego set stays under 10% of the graph) against a full
+    # from-scratch refit on the same inputs.  Incremental cost scales with
+    # the *dirty* slice, full refit with the whole graph, so the gated
+    # ``speedup_serving_update_{scale}`` ratio must stay decisively above 1.
+    # ``serving_replay_{scale}`` is self-timed sustained-traffic throughput:
+    # one op replays a fixed synthetic schedule of batched edge queries plus
+    # periodic update batches through a ``ServingSession`` and reports the
+    # replay's own clock-injected wall-clock.  All three use private
+    # workload instances — replay mutates its graph and stores in place.
+    from repro.core.config import LoCECConfig
+    from repro.core.pipeline import LoCEC
+    from repro.serve import ServingSession, replay_traffic
+
+    def serving_pipeline(workload):
+        config = LoCECConfig.locec_xgb(seed=0)
+        config.gbdt.num_rounds = 10
+        return LoCEC(config).fit(
+            workload.dataset.graph,
+            workload.dataset.features,
+            workload.dataset.interactions,
+            workload.train_edges,
+            division=workload.division(),
+        )
+
+    serve_scale = scales[-1]
+    full_workload = make_workload(serve_scale, seed=0)
+
+    def full_refit(w=full_workload):
+        config = LoCECConfig.locec_xgb(seed=0)
+        config.gbdt.num_rounds = 10
+        return LoCEC(config).fit(
+            w.dataset.graph,
+            w.dataset.features,
+            w.dataset.interactions,
+            w.train_edges,
+        )
+
+    benchmarks[f"serving_update_{serve_scale}_full"] = full_refit
+
+    incr_workload = make_workload(serve_scale, seed=0)
+    incr_pipeline = serving_pipeline(incr_workload)
+    serve_graph = incr_workload.dataset.graph
+    # The edge whose endpoints share the fewest common friends dirties the
+    # smallest ego set ({u, v} plus the common neighbourhood); re-adding an
+    # existing edge is idempotent on the graph, so every op re-divides the
+    # same dirty egos and the per-op cost is stable.
+    update_edge = min(
+        serve_graph.edges(),
+        key=lambda e: len(serve_graph.neighbors(e[0]) & serve_graph.neighbors(e[1])),
+    )
+    num_dirty = 2 + len(
+        serve_graph.neighbors(update_edge[0]) & serve_graph.neighbors(update_edge[1])
+    )
+    assert num_dirty < 0.1 * serve_graph.num_nodes, (
+        f"update edge dirties {num_dirty}/{serve_graph.num_nodes} egos; "
+        "the incremental benchmark needs a <10% dirty slice"
+    )
+    update_delta = [1.0] * incr_workload.dataset.interactions.num_dims
+
+    def incremental_update(p=incr_pipeline, e=update_edge, d=update_delta):
+        return p.apply_updates(
+            added_edges=[e], interaction_deltas=[(e[0], e[1], d)]
+        )
+
+    benchmarks[f"serving_update_{serve_scale}_incremental"] = incremental_update
+
+    replay_workload = make_workload(serve_scale, seed=0)
+    replay_session = ServingSession(serving_pipeline(replay_workload))
+    atexit.register(replay_session.close)
+
+    def replay_seconds(s=replay_session) -> float:
+        return replay_traffic(
+            s, num_batches=6, queries_per_batch=32, seed=0
+        ).seconds
+
+    benchmarks[f"serving_replay_{serve_scale}"] = SelfTimedBenchmark(replay_seconds)
     return benchmarks
 
 

@@ -1,6 +1,6 @@
 """Command-line interface for the LoCEC reproduction.
 
-Four subcommands cover the common workflows without writing any Python:
+The subcommands cover the common workflows without writing any Python:
 
 * ``locec-repro list`` — list the available paper experiments.
 * ``locec-repro run table4 --scale small --seed 0`` — regenerate one paper
@@ -13,6 +13,12 @@ Four subcommands cover the common workflows without writing any Python:
   sharded Phase I executor under a seeded fault-injection schedule
   (transient errors, timeouts, simulated worker kills) and exit non-zero
   unless the merged division is bit-identical to a clean run.
+* ``locec-repro serve-replay --scale tiny --fault-rate 0.3`` — serving
+  smoke: fit a pipeline, open a :class:`repro.serve.ServingSession` and
+  replay synthetic update + query traffic (optionally under injected
+  re-division faults); prints sustained QPS and latency percentiles and
+  exits non-zero if any query goes unanswered or an update degrades when
+  the fault schedule guarantees recovery.
 * ``locec-repro lint`` — run the repo-native invariant lint engine
   (:mod:`repro.lint`): determinism, backend-parity coverage,
   multiprocessing safety and NumPy hygiene rules; exits non-zero on any
@@ -117,6 +123,36 @@ def build_parser() -> argparse.ArgumentParser:
         "workers; 0 = Phase I only (default: 0)",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve-replay",
+        help="fit a pipeline, open a ServingSession and replay synthetic "
+        "update + query traffic; reports sustained QPS and latency "
+        "percentiles and exits non-zero if serving degrades unexpectedly",
+    )
+    serve_parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=["tiny", "small", "medium", "large"],
+        help="synthetic workload size (default: tiny)",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    serve_parser.add_argument(
+        "--batches", type=int, default=12, help="query batches to replay (default: 12)"
+    )
+    serve_parser.add_argument(
+        "--queries-per-batch",
+        type=int,
+        default=32,
+        help="edge queries per batch (default: 32)",
+    )
+    serve_parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="per-attempt fault probability injected into update re-divisions; "
+        "0 = fault-free replay (default: 0.0)",
+    )
+
     lint_parser = subparsers.add_parser(
         "lint",
         help="run the invariant lint engine (repro.lint) over the repository",
@@ -216,6 +252,62 @@ def _command_chaos(
     return 0 if passed else 1
 
 
+def _command_serve_replay(
+    scale: str,
+    seed: int,
+    batches: int,
+    queries_per_batch: int,
+    fault_rate: float,
+) -> int:
+    from repro.core.config import LoCECConfig
+    from repro.core.pipeline import LoCEC
+    from repro.runtime import FaultPlan
+    from repro.serve import ServingSession, replay_traffic
+
+    workload = make_workload(scale=scale, seed=seed)
+    config = LoCECConfig.locec_xgb(seed=seed)
+    config.gbdt.num_rounds = 10
+    pipeline = LoCEC(config)
+    pipeline.fit(
+        workload.dataset.graph,
+        features=workload.dataset.features,
+        interactions=workload.dataset.interactions,
+        labeled_edges=workload.train_edges,
+        division=workload.division(),
+    )
+    # FaultPlan.random only injects recoverable faults (each shard's final
+    # attempt is clean), so even a chaos replay must end with zero stale
+    # egos — staleness here would mean the retry envelope leaked.
+    fault_plan = (
+        FaultPlan.random(range(4), seed=seed, fault_rate=fault_rate)
+        if fault_rate > 0.0
+        else None
+    )
+    with ServingSession(pipeline) as session:
+        report = replay_traffic(
+            session,
+            num_batches=batches,
+            queries_per_batch=queries_per_batch,
+            seed=seed,
+            fault_plan=fault_plan,
+        )
+    for key, value in report.as_dict().items():
+        print(f"{key}: {value:.6g}")
+    for name, latency in (
+        ("query", report.query_latency),
+        ("update", report.update_latency),
+    ):
+        for stat, value in latency.items():
+            print(f"{name}_latency_{stat}: {value:.6g}")
+    passed = (
+        report.num_queries == batches * queries_per_batch
+        and report.sustained_qps > 0.0
+        and not report.stale_egos
+        and report.num_degraded_updates == 0
+    )
+    return 0 if passed else 1
+
+
 def _command_lint(
     root: str | None, output_format: str, rules: str | None, list_rules: bool
 ) -> int:
@@ -244,6 +336,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "lint":
         return _command_lint(
             args.root, args.output_format, args.rules, args.list_rules
+        )
+    if args.command == "serve-replay":
+        return _command_serve_replay(
+            args.scale,
+            args.seed,
+            args.batches,
+            args.queries_per_batch,
+            args.fault_rate,
         )
     if args.command == "chaos":
         return _command_chaos(

@@ -32,7 +32,12 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.core.config import ResilienceConfig
+from repro.core.config import (
+    _UNSET,
+    ResilienceConfig,
+    RuntimeOptions,
+    resolve_runtime_options,
+)
 from repro.core.division import LocalCommunity, resolve_backend
 from repro.exceptions import FeatureError, PipelineError
 from repro.graph.features import NodeFeatureStore
@@ -138,26 +143,34 @@ class FeatureMatrixBuilder:
     k:
         Number of rows of the feature matrix; communities larger than ``k``
         keep only the ``k`` tightest members, smaller ones are zero-padded.
-    backend:
-        ``"dict"`` for the per-pair reference path, ``"csr"`` for the
-        compiled :class:`~repro.graph.phase2.Phase2Kernel` path, ``"auto"``
-        (default) to pick CSR when NumPy is available.  Both backends emit
-        bit-identical matrices for integer-valued interaction counts.
-    phase2_workers:
-        0 (default) keeps aggregation single-process.  >= 1 routes every
-        batch entry point through the sharded Phase II runner
-        (:class:`~repro.runtime.phase2_exec.Phase2ShardedRunner`): the
-        compiled kernel is published to shared memory once and community
-        shards fan out across a process pool of this size (1 = in-process
-        shard + merge, useful for debugging the sharded path
-        deterministically).  Requires the CSR backend; outputs stay
-        bit-identical to the serial path.
-    phase2_shards:
-        Number of community shards per sharded call (default:
-        ``phase2_workers``).
-    resilience:
-        Fault-tolerance knobs for the sharded path (retries, per-shard
-        timeouts, ``on_shard_failure``, pool-rebuild budget, transport).
+    options:
+        The unified runtime-knob surface
+        (:class:`~repro.core.config.RuntimeOptions`):
+
+        * ``backend`` — ``"dict"`` for the per-pair reference path,
+          ``"csr"`` for the compiled
+          :class:`~repro.graph.phase2.Phase2Kernel` path, ``"auto"``
+          (default) to pick CSR when NumPy is available.  Both backends
+          emit bit-identical matrices for integer-valued interaction
+          counts.
+        * ``phase2_workers`` — 0 (default) keeps aggregation
+          single-process.  >= 1 routes every batch entry point through the
+          sharded Phase II runner
+          (:class:`~repro.runtime.phase2_exec.Phase2ShardedRunner`): the
+          compiled kernel is published to shared memory once and community
+          shards fan out across a process pool of this size (1 =
+          in-process shard + merge, useful for debugging the sharded path
+          deterministically).  Requires the CSR backend; outputs stay
+          bit-identical to the serial path.
+        * ``phase2_shards`` — number of community shards per sharded call
+          (default: ``phase2_workers``).
+        * ``resilience`` / ``transport`` — fault-tolerance knobs for the
+          sharded path (retries, per-shard timeouts, ``on_shard_failure``,
+          pool-rebuild budget, kernel transport).
+    backend / phase2_workers / phase2_shards / resilience:
+        Deprecated flat aliases of the ``options`` fields above; explicit
+        values still work for one release (a ``DeprecationWarning`` names
+        the replacement) and override the corresponding ``options`` field.
 
     Notes
     -----
@@ -175,30 +188,38 @@ class FeatureMatrixBuilder:
         features: NodeFeatureStore,
         interactions: InteractionStore,
         k: int = 20,
-        backend: str = "auto",
-        phase2_workers: int = 0,
-        phase2_shards: int | None = None,
-        resilience: ResilienceConfig | None = None,
+        backend: str = _UNSET,
+        phase2_workers: int = _UNSET,
+        phase2_shards: int | None = _UNSET,
+        resilience: ResilienceConfig | None = _UNSET,
+        options: RuntimeOptions | None = None,
     ) -> None:
+        options = resolve_runtime_options(
+            options,
+            {
+                "backend": backend,
+                "phase2_workers": phase2_workers,
+                "phase2_shards": phase2_shards,
+                "resilience": resilience,
+            },
+            caller="FeatureMatrixBuilder",
+        )
         if k < 1:
             raise PipelineError("k must be >= 1")
-        if phase2_workers < 0:
-            raise PipelineError("phase2_workers must be >= 0")
-        if phase2_shards is not None and phase2_shards < 1:
-            raise PipelineError("phase2_shards must be >= 1")
-        if phase2_workers and resolve_backend(backend) != "csr":
+        if options.phase2_workers and resolve_backend(options.backend) != "csr":
             raise PipelineError(
                 "phase2_workers requires the CSR aggregation backend "
-                f"(got backend={backend!r})"
+                f"(got backend={options.backend!r})"
             )
         self.features = features
         self.interactions = interactions
         self.k = k
-        self.backend = backend
-        self.phase2_workers = phase2_workers
-        self.phase2_shards = phase2_shards
-        self.resilience = resilience
-        self._resolved_backend = resolve_backend(backend)
+        self.options = options
+        self.backend = options.backend
+        self.phase2_workers = options.phase2_workers
+        self.phase2_shards = options.phase2_shards
+        self.resilience = options.resolved_resilience()
+        self._resolved_backend = resolve_backend(options.backend)
         self._kernel = None
         self._kernel_versions: tuple[int, int] | None = None
         self._runner: "Phase2ShardedRunner | None" = None
@@ -247,6 +268,48 @@ class FeatureMatrixBuilder:
         self._kernel = None
         self._kernel_versions = None
         self._close_runner()
+
+    def patch_kernel(
+        self,
+        feature_nodes: Sequence[Node] = (),
+        interaction_edges: Sequence[tuple[Node, Node]] = (),
+    ) -> bool:
+        """Delta-compile store updates into the compiled kernel in place.
+
+        ``feature_nodes`` and ``interaction_edges`` must together cover
+        **every** store write since the kernel was last compiled (or
+        patched) — the pipeline's update path tracks exactly that.  Values
+        are re-read from the live stores, so callers list *what* changed,
+        not the new values.
+
+        Returns ``True`` when the kernel is now fresh: either every delta
+        was expressible as an in-place CSR/dense write
+        (:meth:`Phase2Kernel.patch_interaction` /
+        :meth:`Phase2Kernel.patch_features`), or there was nothing compiled
+        to patch (dict backend, or first use still pending).  Structural
+        deltas — new nodes, new interaction edges — return ``False`` after
+        invalidating the kernel, and the next use recompiles from scratch.
+
+        A successful patch closes the sharded runner so the *published*
+        shared-memory kernel is republished from the patched arrays on the
+        next sharded call; a pure no-op (stores unchanged) leaves runner
+        and lease untouched.
+        """
+        versions = (self.features.version, self.interactions.version)
+        if self._kernel is None or self._kernel_versions == versions:
+            return True
+        kernel = self._kernel
+        for node in feature_nodes:
+            if not kernel.patch_features(node, self.features.get_view(node)):
+                self.invalidate_kernel()
+                return False
+        for u, v in interaction_edges:
+            if not kernel.patch_interaction(u, v, self.interactions.vector_view(u, v)):
+                self.invalidate_kernel()
+                return False
+        self._kernel_versions = versions
+        self._close_runner()
+        return True
 
     def close(self) -> None:
         """Release sharded-path resources (pool + shm lease).  Idempotent."""

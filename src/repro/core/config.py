@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.exceptions import ModelConfigError
 
@@ -157,6 +159,118 @@ class ResilienceConfig:
             )
 
 
+#: Sentinel distinguishing "kwarg not passed" from any real value in the
+#: deprecated-knob shims (``None`` is a real value for several knobs).
+_UNSET: Any = object()
+
+#: Where each deprecated scattered kwarg lives on :class:`RuntimeOptions`.
+#: The table is the single source of truth for the shims — every deprecated
+#: kwarg accepted by ``FeatureMatrixBuilder`` / ``measure_phases`` /
+#: ``ServingSession`` must map to a real ``RuntimeOptions`` field here, and
+#: a lint-style test (``tests/test_runtime_options.py``) enforces exactly
+#: that, so the mapping cannot drift from the shimmed signatures.
+LEGACY_KNOB_TO_OPTION: dict[str, str] = {
+    "backend": "backend",
+    "ml_backend": "ml_backend",
+    "nn_backend": "nn_backend",
+    "phase2_workers": "phase2_workers",
+    "phase2_shards": "phase2_shards",
+    "resilience": "resilience",
+    "transport": "transport",
+}
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """The unified runtime-knob surface of the pipeline.
+
+    One frozen value object replaces the kwargs that had accreted across
+    ``LoCEC.fit`` / ``FeatureMatrixBuilder`` / ``measure_phases``
+    (``backend``, ``ml_backend``, ``nn_backend``, ``phase2_workers``,
+    ``phase2_shards``, ``resilience``, ``transport``).  Compose it into
+    :class:`LoCECConfig` via the ``runtime`` field, or pass it directly as
+    ``options=`` to the builders; the old kwargs keep working for one
+    release behind a ``DeprecationWarning`` (see
+    :data:`LEGACY_KNOB_TO_OPTION` and :func:`resolve_runtime_options`).
+
+    ``transport`` is a convenience alias for ``resilience.transport``: a
+    non-``"auto"`` value overrides the transport of the (possibly default)
+    resilience config — see :meth:`resolved_resilience`.
+    """
+
+    backend: str = "auto"
+    ml_backend: str = "auto"
+    nn_backend: str = "auto"
+    phase2_workers: int = 0
+    phase2_shards: int | None = None
+    transport: str = "auto"
+    resilience: ResilienceConfig | None = None
+
+    def validate(self) -> None:
+        if self.backend not in {"auto", "dict", "csr"}:
+            raise ModelConfigError(
+                f"backend must be 'auto', 'dict' or 'csr', got {self.backend!r}"
+            )
+        if self.ml_backend not in {"auto", "node", "array", "hist"}:
+            raise ModelConfigError(
+                "ml_backend must be 'auto', 'node', 'array' or 'hist', "
+                f"got {self.ml_backend!r}"
+            )
+        if self.nn_backend not in {"auto", "loop", "fused"}:
+            raise ModelConfigError(
+                f"nn_backend must be 'auto', 'loop' or 'fused', got {self.nn_backend!r}"
+            )
+        if self.phase2_workers < 0:
+            raise ModelConfigError("phase2_workers must be >= 0")
+        if self.phase2_shards is not None and self.phase2_shards < 1:
+            raise ModelConfigError("phase2_shards must be >= 1 or None")
+        if self.transport not in {"auto", "pickle", "shm"}:
+            raise ModelConfigError(
+                f"transport must be 'auto', 'pickle' or 'shm', got {self.transport!r}"
+            )
+        if self.resilience is not None:
+            self.resilience.validate()
+
+    def resolved_resilience(self) -> ResilienceConfig | None:
+        """The resilience config with the ``transport`` alias folded in."""
+        if self.transport == "auto":
+            return self.resilience
+        return replace(self.resilience or ResilienceConfig(), transport=self.transport)
+
+
+def resolve_runtime_options(
+    options: RuntimeOptions | None,
+    legacy: dict[str, Any],
+    caller: str,
+) -> RuntimeOptions:
+    """Fold explicitly-passed deprecated kwargs into one ``RuntimeOptions``.
+
+    ``legacy`` maps knob name -> passed value, untouched knobs holding the
+    :data:`_UNSET` sentinel.  Every explicit legacy value emits a
+    ``DeprecationWarning`` naming its :class:`RuntimeOptions` replacement
+    (per :data:`LEGACY_KNOB_TO_OPTION`) and overrides the corresponding
+    field of ``options`` — so call sites predating the unified surface keep
+    working for one release.  The resolved options are validated.
+    """
+    resolved = options if options is not None else RuntimeOptions()
+    overrides: dict[str, Any] = {}
+    for name, value in legacy.items():
+        if value is _UNSET:
+            continue
+        target = LEGACY_KNOB_TO_OPTION[name]
+        warnings.warn(
+            f"{caller}({name}=...) is deprecated; pass "
+            f"options=RuntimeOptions({target}=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        overrides[target] = value
+    if overrides:
+        resolved = replace(resolved, **overrides)
+    resolved.validate()
+    return resolved
+
+
 @dataclass
 class LoCECConfig:
     """Top-level configuration of the LoCEC pipeline (Algorithm 2).
@@ -215,6 +329,9 @@ class LoCECConfig:
     ml_backend: str = "auto"
     nn_backend: str = "auto"
     phase2_workers: int = 0
+    phase2_shards: int | None = None
+    """Number of community shards per sharded Phase II call (default:
+    ``phase2_workers``)."""
     min_community_size: int = 1
     edge_lr_iterations: int = 400
     edge_lr_learning_rate: float = 0.5
@@ -227,7 +344,23 @@ class LoCECConfig:
     (retries, timeouts, failure mode, checkpointing); see
     :class:`ResilienceConfig`."""
 
+    runtime: RuntimeOptions | None = None
+    """The unified runtime-knob surface.  When set, ``validate()`` syncs its
+    fields into the flat legacy knobs above (``backend``, ``ml_backend``,
+    ``nn_backend``, ``phase2_workers``, ``phase2_shards``, ``resilience``) —
+    the ``runtime`` value wins over any flat field set alongside it."""
+
     def validate(self) -> None:
+        if self.runtime is not None:
+            self.runtime.validate()
+            self.backend = self.runtime.backend
+            self.ml_backend = self.runtime.ml_backend
+            self.nn_backend = self.runtime.nn_backend
+            self.phase2_workers = self.runtime.phase2_workers
+            self.phase2_shards = self.runtime.phase2_shards
+            resilience = self.runtime.resolved_resilience()
+            if resilience is not None:
+                self.resilience = resilience
         if self.k < 1:
             raise ModelConfigError("k must be >= 1")
         if self.community_model not in {"cnn", "xgb"}:
@@ -258,6 +391,8 @@ class LoCECConfig:
             )
         if self.phase2_workers < 0:
             raise ModelConfigError("phase2_workers must be >= 0")
+        if self.phase2_shards is not None and self.phase2_shards < 1:
+            raise ModelConfigError("phase2_shards must be >= 1 or None")
         if self.phase2_workers and self.backend == "dict":
             raise ModelConfigError(
                 "phase2_workers requires the CSR aggregation backend; "
@@ -270,6 +405,23 @@ class LoCECConfig:
         self.cnn.validate()
         self.gbdt.validate()
         self.resilience.validate()
+
+    @property
+    def runtime_options(self) -> RuntimeOptions:
+        """The effective runtime knobs as one :class:`RuntimeOptions` value.
+
+        Built from the flat fields (which ``validate()`` keeps in sync with
+        an explicit ``runtime`` value), so it reflects whichever surface the
+        caller used.
+        """
+        return RuntimeOptions(
+            backend=self.backend,
+            ml_backend=self.ml_backend,
+            nn_backend=self.nn_backend,
+            phase2_workers=self.phase2_workers,
+            phase2_shards=self.phase2_shards,
+            resilience=self.resilience,
+        )
 
     @classmethod
     def locec_cnn(cls, **overrides: object) -> "LoCECConfig":

@@ -14,12 +14,18 @@ Typical usage::
     pipeline.fit(graph, features, interactions, train_edges)
     report = pipeline.evaluate(test_edges)
     result = pipeline.classify_network()          # Figure 13-style output
+
+A fitted pipeline also serves *online*: :meth:`LoCEC.apply_updates` folds a
+batch of graph/store deltas into the fitted state incrementally (re-dividing
+only the egos whose ego networks changed and re-scoring only the dirty
+communities), and :class:`repro.serve.ServingSession` wraps the pipeline in a
+request layer with batched prediction, caching and latency accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -37,8 +43,8 @@ from repro.core.community_classifier import (
     CommunityClassifier,
     GBDTCommunityClassifier,
 )
-from repro.core.config import LoCECConfig
-from repro.core.division import DivisionResult, divide
+from repro.core.config import LoCECConfig, ResilienceConfig
+from repro.core.division import DivisionResult, LocalCommunity, divide
 from repro.core.labels import EdgeLabelIndex, labeled_communities
 from repro.core.results import (
     CommunityClassification,
@@ -51,6 +57,9 @@ from repro.graph.graph import Graph
 from repro.graph.interactions import InteractionStore
 from repro.ml.metrics import classification_report
 from repro.types import ClassificationReport, Edge, LabeledEdge, Node, RelationType
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (lazy at runtime)
+    from repro.runtime.faultinject import FaultPlan
 
 
 @dataclass
@@ -87,6 +96,36 @@ class FitSummary:
     timings: PhaseTimings = field(default_factory=PhaseTimings)
 
 
+@dataclass
+class UpdateReport:
+    """Bookkeeping produced by :meth:`LoCEC.apply_updates`.
+
+    ``stale_egos`` lists egos whose supervised re-division failed this
+    update (``on_shard_failure="skip"`` degradation): their previous
+    communities stay served until a later update or refit succeeds.
+    ``kernel_patched`` is ``True`` when every store delta was folded into
+    the compiled Phase II kernel in place (delta compilation) — ``False``
+    means a structural delta forced a full recompile on next use.
+    """
+
+    num_added_edges: int = 0
+    num_removed_edges: int = 0
+    num_interaction_deltas: int = 0
+    num_feature_updates: int = 0
+    num_dirty_egos: int = 0
+    num_redivided_egos: int = 0
+    stale_egos: tuple[Node, ...] = ()
+    num_rescored_communities: int = 0
+    classifier_refit: bool = False
+    kernel_patched: bool = True
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+    @property
+    def degraded(self) -> bool:
+        """``True`` when at least one ego is being served stale communities."""
+        return bool(self.stale_egos)
+
+
 class LoCEC:
     """Local Community-based Edge Classification pipeline.
 
@@ -113,6 +152,14 @@ class LoCEC:
         self.fit_summary_: FitSummary | None = None
         self._graph: Graph | None = None
         self._num_classes = len(RelationType.classification_targets())
+        # Fitted-state snapshot consumed by apply_updates (incremental path).
+        self._features: NodeFeatureStore | None = None
+        self._interactions: InteractionStore | None = None
+        self._labeled_edges: list[LabeledEdge] = []
+        self._train_communities: list[LocalCommunity] = []
+        self._train_labels: list[int] = []
+        self._stale_egos: set[Node] = set()
+        self._update_epoch = 0
 
     # ---------------------------------------------------------------- training
     def fit(
@@ -144,6 +191,10 @@ class LoCEC:
         if not labeled_edges:
             raise PipelineError("LoCEC.fit requires at least one labeled edge")
         self._graph = graph
+        self._features = features
+        self._interactions = interactions
+        self._labeled_edges = list(labeled_edges)
+        self._stale_egos = set()
         summary = FitSummary()
 
         # Phase I: division.
@@ -170,9 +221,7 @@ class LoCEC:
             features=features,
             interactions=interactions,
             k=self.config.k,
-            backend=self.config.backend,
-            phase2_workers=self.config.phase2_workers,
-            resilience=self.config.resilience,
+            options=self.config.runtime_options,
         )
         label_index = EdgeLabelIndex(labeled_edges)
         train_communities, community_labels = labeled_communities(
@@ -184,6 +233,8 @@ class LoCEC:
                 "check that labeled edges overlap the processed egos"
             )
         summary.num_labeled_communities = len(train_communities)
+        self._train_communities = list(train_communities)
+        self._train_labels = [int(label) for label in community_labels]
         self.community_classifier_ = self._build_community_classifier()
         self.community_classifier_.fit(train_communities, community_labels)
 
@@ -253,15 +304,269 @@ class LoCEC:
             for index, community in enumerate(communities)
         }
 
+    # ----------------------------------------------------- incremental serving
+    @property
+    def graph(self) -> Graph | None:
+        """The fitted friendship graph (mutated in place by updates)."""
+        return self._graph
+
+    @property
+    def update_epoch(self) -> int:
+        """Number of :meth:`apply_updates` calls folded into the fitted state."""
+        return self._update_epoch
+
+    @property
+    def stale_egos(self) -> frozenset[Node]:
+        """Egos currently served stale communities after failed re-division."""
+        return frozenset(self._stale_egos)
+
+    def apply_updates(
+        self,
+        added_edges: Sequence[Edge] = (),
+        removed_edges: Sequence[Edge] = (),
+        interaction_deltas: Sequence[tuple[Node, Node, Sequence[float]]] = (),
+        feature_updates: Sequence[tuple[Node, Sequence[float]]] = (),
+        fault_plan: "FaultPlan | None" = None,
+    ) -> UpdateReport:
+        """Fold a batch of graph/store deltas into the fitted state.
+
+        The incremental counterpart of :meth:`fit`: instead of re-running
+        Algorithm 2 from scratch, only the state actually touched by the
+        deltas is recomputed, and the result is **bit-identical** to a
+        from-scratch ``fit`` on the updated inputs (absent injected faults).
+
+        1. ``added_edges`` / ``removed_edges`` mutate the friendship graph.
+           A changed edge ``(a, b)`` dirties exactly the egos whose ego
+           network contains it: ``{a, b} ∪ (N(a) ∩ N(b))``.  Only those are
+           re-divided, through the supervised
+           :class:`~repro.runtime.executor.ShardedDivisionExecutor` with
+           ``on_shard_failure="skip"`` — a crashed re-division leaves the
+           ego's *previous* communities served (stale-but-consistent, see
+           :attr:`UpdateReport.stale_egos`) instead of failing the update.
+        2. ``interaction_deltas`` — ``(u, v, delta)`` triples added onto the
+           stored interaction vector — and ``feature_updates`` —
+           ``(node, values)`` replacements — are written to the live stores
+           and *delta-compiled* into the Phase II kernel in place where
+           possible (:meth:`FeatureMatrixBuilder.patch_kernel`).
+        3. Fitted models stay warm: the community classifier is refit only
+           when a delta touched its training set, and only dirty communities
+           are re-scored (CommCNN re-scores every community in one batch so
+           inference batching matches a from-scratch fit bit for bit).  The
+           Phase III edge labeler is always refit — it is seeded, cheap and
+           deterministic.
+
+        Returns an :class:`UpdateReport`; ``fault_plan`` injects
+        deterministic re-division faults (chaos tests).
+        """
+        self._require_fitted()
+        assert self._graph is not None and self.division_ is not None
+        assert self.feature_builder_ is not None
+        assert self._features is not None and self._interactions is not None
+        assert self.edge_feature_builder_ is not None
+        graph = self._graph
+        division = self.division_
+        report = UpdateReport(
+            num_added_edges=len(added_edges),
+            num_removed_edges=len(removed_edges),
+            num_interaction_deltas=len(interaction_deltas),
+            num_feature_updates=len(feature_updates),
+        )
+
+        # -- Phase I: graph deltas, dirty marking, supervised re-division.
+        start = self._clock.perf_counter()
+        known_nodes = set(graph.nodes()) if added_edges else set()
+        for u, v in added_edges:
+            graph.add_edge(u, v)
+        for u, v in removed_edges:
+            graph.remove_edge(u, v)
+        dirty_egos: set[Node] = set()
+        for u, v in tuple(added_edges) + tuple(removed_edges):
+            dirty_egos.add(u)
+            dirty_egos.add(v)
+            dirty_egos.update(graph.neighbors(u) & graph.neighbors(v))
+        # Egos outside the fitted division (subset fits) stay un-divided;
+        # nodes introduced by this update always become egos.
+        eligible = {
+            ego
+            for ego in dirty_egos
+            if ego in division.communities_by_ego
+            or (bool(added_edges) and ego not in known_nodes)
+        }
+        dirty_list = [ego for ego in graph.nodes() if ego in eligible]
+        report.num_dirty_egos = len(dirty_list)
+        redivided: dict[Node, list[LocalCommunity]] = {}
+        if dirty_list:
+            from repro.runtime.executor import ShardedDivisionExecutor
+
+            resilience = replace(
+                self.config.resilience or ResilienceConfig(),
+                on_shard_failure="skip",
+            )
+            with ShardedDivisionExecutor(
+                num_shards=min(4, len(dirty_list)),
+                num_workers=1,
+                detector=self.config.community_detector,
+                backend=self.config.backend,
+                resilience=resilience,
+                fault_plan=fault_plan,
+                clock=self._clock,
+            ) as executor:
+                redivided = dict(
+                    executor.run(graph, egos=dirty_list).division.communities_by_ego
+                )
+        rescore_keys: set[CommunityKey] = set()
+        changed_egos: set[Node] = set()
+        for ego in dirty_list:
+            if ego in redivided:
+                self._stale_egos.discard(ego)
+                report.num_redivided_egos += 1
+                if redivided[ego] == division.communities_by_ego.get(ego):
+                    # Re-division reproduced the previous communities bit for
+                    # bit (e.g. an idempotent edge re-add): keep the old
+                    # objects and their stored scores — rescoring identical
+                    # inputs would only write back identical values.
+                    continue
+                division.communities_by_ego[ego] = redivided[ego]
+                changed_egos.add(ego)
+                for community in redivided[ego]:
+                    rescore_keys.add(community_key(community))
+            else:
+                # Skip-mode degradation: keep serving the previous communities
+                # (an ego new to this update has none and serves empty).
+                self._stale_egos.add(ego)
+                division.communities_by_ego.setdefault(ego, [])
+        division.invalidate_index()
+        report.stale_egos = tuple(ego for ego in dirty_list if ego not in redivided)
+        report.timings.division = self._clock.perf_counter() - start
+
+        # -- Phase II: store deltas, delta compilation, dirty re-scoring.
+        start = self._clock.perf_counter()
+        touched_edges: list[tuple[Node, Node]] = []
+        for u, v, delta in interaction_deltas:
+            vector = self._interactions.vector(u, v) + np.asarray(
+                delta, dtype=np.float64
+            )
+            self._interactions.set_vector(u, v, vector)
+            touched_edges.append((u, v))
+        touched_nodes: list[Node] = []
+        for node, values in feature_updates:
+            self._features.set(node, values)
+            touched_nodes.append(node)
+        report.kernel_patched = self.feature_builder_.patch_kernel(
+            feature_nodes=touched_nodes, interaction_edges=touched_edges
+        )
+        # A community's matrix depends only on its members' pairwise
+        # interactions and per-member features (the ego is not a member), so
+        # an interaction delta on (u, v) dirties exactly the communities of
+        # egos in N(u) ∩ N(v) containing both endpoints, and a feature update
+        # on n dirties the communities of N(n) containing n.
+        for u, v in touched_edges:
+            if u not in graph or v not in graph:
+                continue
+            for ego in graph.neighbors(u) & graph.neighbors(v):
+                for community in division.communities_of(ego):
+                    if u in community and v in community:
+                        rescore_keys.add(community_key(community))
+        for node in touched_nodes:
+            if node not in graph:
+                continue
+            for ego in graph.neighbors(node):
+                for community in division.communities_of(ego):
+                    if node in community:
+                        rescore_keys.add(community_key(community))
+
+        label_index = EdgeLabelIndex(self._labeled_edges)
+        train_communities, community_labels = labeled_communities(
+            division, label_index, min_labeled_members=1
+        )
+        if not train_communities:
+            raise PipelineError(
+                "update removed every labeled community; refit from scratch"
+            )
+        train_labels = [int(label) for label in community_labels]
+        report.classifier_refit = (
+            train_communities != self._train_communities
+            or train_labels != self._train_labels
+            or any(community_key(c) in rescore_keys for c in train_communities)
+        )
+        self._train_communities = list(train_communities)
+        self._train_labels = train_labels
+        if report.classifier_refit:
+            self.community_classifier_ = self._build_community_classifier()
+            self.community_classifier_.fit(train_communities, community_labels)
+        assert self.community_classifier_ is not None
+
+        result_vectors = self.edge_feature_builder_.result_vectors
+        all_communities = list(division.all_communities())
+        # CommCNN inference is re-run over the full community list in one
+        # batch whenever anything is dirty: scoring a subset would change the
+        # inference batch shape relative to a from-scratch fit, and GEMM-based
+        # convolution is only guaranteed bit-stable for identical batches.
+        # GBDT scoring is per-row and batch-invariant, so it scores subsets.
+        rescore_all = report.classifier_refit or (
+            self.config.community_model == "cnn" and bool(rescore_keys)
+        )
+        if rescore_all:
+            fresh = self._compute_result_vectors(all_communities)
+            result_vectors.clear()
+            result_vectors.update(fresh)
+            report.num_rescored_communities = len(fresh)
+        else:
+            for key in [k for k in result_vectors if k[0] in changed_egos]:
+                del result_vectors[key]
+            dirty_communities = [
+                c for c in all_communities if community_key(c) in rescore_keys
+            ]
+            result_vectors.update(self._compute_result_vectors(dirty_communities))
+            report.num_rescored_communities = len(dirty_communities)
+        report.timings.aggregation = self._clock.perf_counter() - start
+
+        # -- Phase III: the edge labeler is always refit (seeded, cheap,
+        # deterministic) over the stored labeled edges and the updated
+        # result vectors.
+        start = self._clock.perf_counter()
+        self.edge_labeler_ = EdgeLabeler(
+            self.edge_feature_builder_,
+            num_classes=self._num_classes,
+            learning_rate=self.config.edge_lr_learning_rate,
+            num_iterations=self.config.edge_lr_iterations,
+            l2=self.config.edge_lr_l2,
+            seed=self.config.seed,
+        )
+        self.edge_labeler_.fit(
+            [item.edge for item in self._labeled_edges],
+            [int(item.label) for item in self._labeled_edges],
+        )
+        report.timings.combination = self._clock.perf_counter() - start
+
+        self._update_epoch += 1
+        return report
+
     # --------------------------------------------------------------- inference
     def predict_edges(self, edges: Sequence[Edge]) -> list[RelationType]:
-        """Predicted relationship type for each edge."""
+        """Predicted :class:`RelationType` for each edge, in input order.
+
+        The whole batch is featurized (Equation 4) and scored through the
+        Phase III logistic regression in one pass, on whichever aggregation
+        backend the pipeline was configured with.  Edges whose endpoints
+        share no classified community fall back to the zero feature vector
+        rather than failing.  For a long-lived serving loop — caching,
+        latency accounting, incremental updates between batches — wrap the
+        pipeline in :class:`repro.serve.ServingSession` and fold graph
+        changes in with :meth:`apply_updates`.
+        """
         self._require_fitted()
         assert self.edge_labeler_ is not None
         return self.edge_labeler_.predict_types(list(edges))
 
     def predict_edge_proba(self, edges: Sequence[Edge]) -> np.ndarray:
-        """Class-probability matrix for a batch of edges."""
+        """Class-probability matrix for a batch of edges.
+
+        Row ``i`` holds the per-class probabilities of ``edges[i]`` (columns
+        follow ``RelationType.classification_targets()`` order); an empty
+        batch yields a ``(0, num_classes)`` matrix.  Same backend and
+        fallback semantics as :meth:`predict_edges`.
+        """
         self._require_fitted()
         assert self.edge_labeler_ is not None
         return self.edge_labeler_.predict_proba(list(edges))
@@ -323,6 +628,22 @@ class LoCEC:
             community_classifications=self.classify_communities(),
             edge_classifications=edge_classifications,
         )
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release Phase II resources (pool + shm lease).  Idempotent.
+
+        The pipeline stays usable — the builder re-acquires its sharded-path
+        resources lazily on the next aggregation call.
+        """
+        if self.feature_builder_ is not None:
+            self.feature_builder_.close()
+
+    def __enter__(self) -> "LoCEC":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ---------------------------------------------------------------- ablations
     def agreement_rule_predictions(self, edges: Sequence[Edge]) -> np.ndarray:

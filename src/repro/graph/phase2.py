@@ -23,6 +23,14 @@ per-community question with batched NumPy gathers:
   directly into the zero-padded ``(n, 1, k, |I|+|f|)`` CommCNN input tensor
   with no intermediate per-community matrices.
 
+The compiled stores support **delta compilation**: an update that only
+changes values already representable in the snapshot — an existing edge's
+interaction vector, an interned node's feature row — is patched in place
+(:meth:`Phase2Kernel.patch_interaction`, :meth:`Phase2Kernel.patch_features`)
+instead of recompiled; structural deltas (new nodes, new interaction edges)
+report ``False`` and the caller falls back to a full recompile, so patched
+and recompiled kernels always produce bit-identical community aggregates.
+
 Parity contract: interaction counts are integer-valued in every workload the
 repo generates, and sums of integers below 2^53 are exact in float64
 regardless of accumulation order, so the share vectors — and everything
@@ -113,6 +121,40 @@ class InteractionMatrix:
         """Number of directed (node, neighbour) entries (2x the edge count)."""
         return int(self.indices.size)
 
+    def _entry_position(self, src: int, dst: int) -> int:
+        """Position of the directed entry ``src -> dst`` in ``data``, or -1.
+
+        Within-row neighbour indices are ascending by construction (the
+        build lexsort orders on ``(src, dst)``), so the lookup is a binary
+        search over the row slice.
+        """
+        start = int(self.indptr[src])
+        stop = int(self.indptr[src + 1])
+        pos = start + int(np.searchsorted(self.indices[start:stop], dst))
+        if pos < stop and int(self.indices[pos]) == dst:
+            return pos
+        return -1
+
+    def patch_edge(self, iu: int, iv: int, vector: np.ndarray) -> bool:
+        """Overwrite both directed data rows of interned pair ``(iu, iv)``.
+
+        Delta compilation: an interaction update on an edge the CSR already
+        holds is a two-row in-place write, no recompile.  Returns ``False``
+        — and writes nothing — when either directed entry is absent (a new
+        edge needs a structural recompile); both positions are located
+        before the first write, so a failed patch never leaves the matrix
+        half-updated.
+        """
+        pos_uv = self._entry_position(iu, iv)
+        if pos_uv < 0:
+            return False
+        pos_vu = self._entry_position(iv, iu)
+        if pos_vu < 0:
+            return False
+        self.data[pos_uv] = vector
+        self.data[pos_vu] = vector
+        return True
+
 
 class NodeFeatureMatrix:
     """Dense ``(n + 1) x |f|`` view of a :class:`NodeFeatureStore`.
@@ -142,6 +184,10 @@ class NodeFeatureMatrix:
     def rows(self, ids: np.ndarray) -> np.ndarray:
         """Feature rows for a batch of interned ids (sentinel-safe)."""
         return self.dense[ids]
+
+    def patch_row(self, row: int, values: np.ndarray) -> None:
+        """Overwrite one interned node's feature row in place (delta path)."""
+        self.dense[row] = values
 
 
 class Phase2Kernel:
@@ -212,6 +258,57 @@ class Phase2Kernel:
     def feature_rows(self, nodes: Sequence[Node]) -> np.ndarray:
         """``len(nodes) x |f|`` feature matrix (unknown nodes -> zero rows)."""
         return self.features.rows(self.intern(nodes))
+
+    # ------------------------------------------------------ delta compilation
+    def patch_interaction(self, u: Node, v: Node, vector: np.ndarray | None) -> bool:
+        """Patch the compiled interaction entry for ``(u, v)`` in place.
+
+        ``vector`` is the edge's *new* per-dimension count vector; ``None``
+        (or all zeros) marks a removed interaction — the CSR slot is zeroed
+        rather than deleted, which is output-exact because a zero vector
+        contributes exactly ``0.0`` to every Equation-1 pair sum, the same
+        as the recompiled kernel that drops the entry.  Returns ``False``
+        when the delta cannot be expressed as an in-place write (an
+        endpoint outside the interner, or a brand-new edge with no CSR
+        slot): the caller must fall back to a full recompile to stay
+        bit-identical.  Self-interactions are ``True`` no-ops — Equation 1
+        never includes them, patched or recompiled.
+        """
+        iu = self._index.get(u)
+        iv = self._index.get(v)
+        if iu is None or iv is None:
+            return False
+        if iu == iv:
+            return True
+        num_dims = self.interactions.num_dims
+        if vector is None:
+            data = np.zeros(num_dims, dtype=np.float64)
+        else:
+            data = np.asarray(vector, dtype=np.float64)
+            if data.shape != (num_dims,):
+                raise ValueError(
+                    f"interaction vector must have shape ({num_dims},), "
+                    f"got {data.shape}"
+                )
+        return self.interactions.patch_edge(iu, iv, data)
+
+    def patch_features(self, node: Node, values: np.ndarray) -> bool:
+        """Patch one node's compiled feature row in place.
+
+        Returns ``False`` when ``node`` is outside the interner (a recompile
+        would widen the dense matrix — the caller must recompile instead).
+        """
+        i = self._index.get(node)
+        if i is None:
+            return False
+        row = np.asarray(values, dtype=np.float64)
+        if row.shape != (self.features.num_features,):
+            raise ValueError(
+                f"feature vector must have shape ({self.features.num_features},), "
+                f"got {row.shape}"
+            )
+        self.features.patch_row(i, row)
+        return True
 
     # ------------------------------------------------------ Equation 1/2 batch
     def community_rows_batch(

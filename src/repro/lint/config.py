@@ -24,11 +24,16 @@ _LIBRARY_AND_SCRIPTS = ("src/repro", "scripts")
 _EVERYTHING = ("src/repro", "scripts", "benchmarks")
 # The multiprocessing supervisors ship callables and shared-memory leases
 # across process boundaries; the MP rules MUST stay in scope for them even
-# if the broad src/repro prefix is ever narrowed.  (Both files are already
-# inside _EVERYTHING; listing them pins the invariant.)
+# if the broad src/repro prefix is ever narrowed.  (All files are already
+# inside _EVERYTHING; listing them pins the invariant.)  The last two own
+# leases *indirectly* — FeatureMatrixBuilder through its sharded runner and
+# ServingSession through the pipeline it serves — and are what the MP004
+# lifecycle rule exists to keep closeable.
 _MP_CRITICAL = _EVERYTHING + (
     "src/repro/runtime/executor.py",
     "src/repro/runtime/phase2_exec.py",
+    "src/repro/core/aggregation.py",
+    "src/repro/serve.py",
 )
 
 DEFAULT_RULE_SCOPES: Dict[str, Tuple[str, ...]] = {
@@ -38,6 +43,7 @@ DEFAULT_RULE_SCOPES: Dict[str, Tuple[str, ...]] = {
     "MP001": _MP_CRITICAL,
     "MP002": _LIBRARY,
     "MP003": _MP_CRITICAL,
+    "MP004": _MP_CRITICAL,
     "NPY001": _EVERYTHING,
     "NPY002": _EVERYTHING,
     "NPY003": _EVERYTHING,

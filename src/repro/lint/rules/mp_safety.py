@@ -20,6 +20,7 @@ cost a real bug:
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Set
 
@@ -363,3 +364,148 @@ class ExceptionReduceRule(Rule):
                         "(add _PicklableErrorMixin or define __reduce__)"
                     ),
                 )
+
+
+#: The three methods the repo-wide lifecycle protocol
+#: (:class:`repro.lifecycle.Closeable`) requires of every lease owner.
+_LIFECYCLE_METHODS = ("close", "__enter__", "__exit__")
+_LEASE_CLASS = "ShmLease"
+
+
+@dataclass
+class _OwnerInfo:
+    """One class's lifecycle-relevant surface for the MP004 ownership walk."""
+
+    name: str
+    path: str
+    line: int
+    bases: List[str] = field(default_factory=list)
+    methods: Set[str] = field(default_factory=set)
+    owned_classes: Set[str] = field(default_factory=set)
+
+
+def _identifier_names(node: ast.AST) -> Iterator[str]:
+    """Every identifier referenced under ``node``, including identifiers
+    inside string annotations (``self._lease: "ShmLease | None"``)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            yield from re.findall(r"[A-Za-z_][A-Za-z0-9_]*", sub.value)
+
+
+def _is_self_attribute(target: ast.expr) -> bool:
+    return (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    )
+
+
+def _collect_owner_info(project: ProjectContext) -> Dict[str, _OwnerInfo]:
+    table: Dict[str, _OwnerInfo] = {}
+    for ctx in project.modules:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = _OwnerInfo(name=node.name, path=ctx.path, line=node.lineno)
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    info.bases.append(base.id)
+                elif isinstance(base, ast.Attribute):
+                    info.bases.append(base.attr)
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.methods.add(item.name)
+                elif isinstance(item, ast.AnnAssign):
+                    # dataclass-style field: the annotation names what is held
+                    info.owned_classes.update(_identifier_names(item.annotation))
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.AnnAssign) and _is_self_attribute(sub.target):
+                    info.owned_classes.update(_identifier_names(sub.annotation))
+                elif isinstance(sub, ast.Assign):
+                    if not any(_is_self_attribute(t) for t in sub.targets):
+                        continue
+                    value = sub.value
+                    if isinstance(value, ast.Call):
+                        func = value.func
+                        if isinstance(func, ast.Name):
+                            info.owned_classes.add(func.id)
+                        elif isinstance(func, ast.Attribute):
+                            info.owned_classes.add(func.attr)
+            table[node.name] = info
+    return table
+
+
+@register
+class LeaseOwnerLifecycleRule(Rule):
+    rule_id = "MP004"
+    name = "lease-owner-closeable"
+    description = (
+        "classes owning an ShmLease — directly, or through an attribute "
+        "holding a lease-owning resource — must implement the Closeable "
+        "lifecycle protocol (close/__enter__/__exit__)"
+    )
+    rationale = (
+        "a lease owner without a close()/context-manager surface has no "
+        "deterministic release path, so its /dev/shm segments and worker "
+        "pools live until interpreter teardown; one shared protocol "
+        "(repro.lifecycle.Closeable) keeps every owner releasable"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        table = _collect_owner_info(project)
+        owners: Set[str] = {
+            info.name
+            for info in table.values()
+            if _LEASE_CLASS in info.owned_classes and info.name != _LEASE_CLASS
+        }
+        # Transitive closure: holding an owner makes you an owner.
+        changed = True
+        while changed:
+            changed = False
+            for info in table.values():
+                if info.name in owners or info.name == _LEASE_CLASS:
+                    continue
+                if info.owned_classes & owners:
+                    owners.add(info.name)
+                    changed = True
+        for name in sorted(owners):
+            info = table[name]
+            missing = [
+                method
+                for method in _LIFECYCLE_METHODS
+                if not self._defines(info, method, table)
+            ]
+            if missing:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=info.path,
+                    line=info.line,
+                    col=0,
+                    message=(
+                        f"class {name} owns an ShmLease-bearing resource but "
+                        f"does not implement {', '.join(missing)} — implement "
+                        "the repro.lifecycle.Closeable protocol (idempotent "
+                        "close() + context manager)"
+                    ),
+                )
+
+    def _defines(
+        self, info: _OwnerInfo, method: str, table: Dict[str, _OwnerInfo]
+    ) -> bool:
+        seen: Set[str] = set()
+        stack = [info.name]
+        while stack:
+            name = stack.pop()
+            if name in seen or name not in table:
+                continue
+            seen.add(name)
+            current = table[name]
+            if method in current.methods:
+                return True
+            stack.extend(current.bases)
+        return False

@@ -382,6 +382,35 @@ class CostModel:
             * to_hours,
         )
 
+    def incremental_estimate(
+        self,
+        num_dirty_egos: int,
+        num_dirty_communities: int,
+        num_touched_edges: int,
+        cores: int = 1,
+    ) -> RuntimeEstimate:
+        """Projected cost of one ``LoCEC.apply_updates`` batch.
+
+        An incremental update pays the per-item phase costs only for the
+        *dirty* slice of the workload — Phase I re-division per dirty ego,
+        Phase II re-aggregation per dirty community, Phase III
+        re-featurization per touched edge — so the projection scales with
+        the delta, not the graph (the property the
+        ``serving_update_*_incremental`` benchmark ratio-gates).  Training
+        hours are always zero: updates keep the fitted models warm.
+        """
+        if min(num_dirty_egos, num_dirty_communities, num_touched_edges) < 0:
+            raise ModelConfigError("incremental workload counts must be >= 0")
+        return self.estimate(
+            WorkloadSpec(
+                num_nodes=num_dirty_egos,
+                num_edges=num_touched_edges,
+                num_communities=num_dirty_communities,
+            ),
+            ClusterSpec(num_servers=1, cores_per_server=cores),
+            include_training=False,
+        )
+
     def sweep_nodes(
         self,
         node_counts: list[int],

@@ -17,6 +17,12 @@ from dataclasses import dataclass, field
 
 from repro.clock import Clock, SystemClock
 from repro.core.aggregation import FeatureMatrixBuilder
+from repro.core.config import (
+    _UNSET,
+    ResilienceConfig,
+    RuntimeOptions,
+    resolve_runtime_options,
+)
 from repro.core.division import divide
 from repro.runtime.cost_model import (
     ClusterSpec,
@@ -89,44 +95,64 @@ def measure_phases(
     k: int = 20,
     detector: str = "girvan_newman",
     max_egos: int | None = None,
-    backend: str = "auto",
-    ml_backend: str = "auto",
-    nn_backend: str = "auto",
+    backend: str = _UNSET,
+    ml_backend: str = _UNSET,
+    nn_backend: str = _UNSET,
     include_model_kernels: bool = False,
     gbdt_rounds: int = 10,
     cnn_epochs: int = 2,
     num_workers: int = 1,
     num_shards: int = 4,
-    transport: str = "auto",
-    phase2_workers: int = 0,
+    transport: str = _UNSET,
+    phase2_workers: int = _UNSET,
+    options: RuntimeOptions | None = None,
     clock: Clock | None = None,
 ) -> MeasuredPhaseTimes:
     """Time the three LoCEC phases on a real (synthetic) dataset.
 
     ``max_egos`` limits Phase I to a node sample so the measurement fits in a
     benchmark budget; per-item costs are unaffected because all phases are
-    per-item computations.  ``backend`` selects the kernel layer for Phases I
-    and II (``"auto"``/``"csr"``/``"dict"``), ``ml_backend`` the tree-model
-    layer (``"auto"``/``"array"``/``"hist"``/``"node"``) and ``nn_backend`` the CommCNN
-    execution engine (``"auto"``/``"fused"``/``"loop"``), mirroring
-    ``LoCECConfig``.  With ``include_model_kernels=True`` the model-layer
+    per-item computations.  ``options`` (a
+    :class:`~repro.core.config.RuntimeOptions`) selects the runtime surface:
+    ``options.backend`` the kernel layer for Phases I and II
+    (``"auto"``/``"csr"``/``"dict"``), ``options.ml_backend`` the tree-model
+    layer (``"auto"``/``"array"``/``"hist"``/``"node"``),
+    ``options.nn_backend`` the CommCNN execution engine
+    (``"auto"``/``"fused"``/``"loop"``), ``options.transport`` the graph
+    shipping (``"auto"``/``"pickle"``/``"shm"``) and
+    ``options.phase2_workers`` the sharded Phase II pool, mirroring
+    ``LoCECConfig``.  The flat ``backend`` / ``ml_backend`` / ``nn_backend``
+    / ``transport`` / ``phase2_workers`` kwargs are deprecated aliases of
+    those fields; explicit values still work for one release (with a
+    ``DeprecationWarning``) and override the corresponding ``options`` field.
+    With ``include_model_kernels=True`` the model-layer
     kernels are timed too: ``gbdt_fit`` (a ``gbdt_rounds``-round boosted fit
     on the statistic vectors), ``forest_predict`` (probabilities + the
     leaf-value embedding), ``commcnn_tensor`` (CNN input tensor emission),
     ``commcnn_fit`` (a ``cnn_epochs``-epoch CommCNN fit on that tensor) and
     ``commcnn_predict`` (CommCNN probabilities for every community).
     With ``num_workers > 1`` Phase I runs through the shard executor
-    (``num_shards`` shards, graph shipped via ``transport`` —
-    ``"auto"``/``"pickle"``/``"shm"``) and the returned
+    (``num_shards`` shards) and the returned
     :class:`MeasuredPhaseTimes` carries the run's
     :class:`~repro.runtime.executor.TransportStats`.
-    With ``phase2_workers >= 1`` Phase II aggregation routes through the
-    sharded runner (:class:`repro.runtime.phase2_exec.Phase2ShardedRunner`,
+    With ``options.phase2_workers >= 1`` Phase II aggregation routes through
+    the sharded runner (:class:`repro.runtime.phase2_exec.Phase2ShardedRunner`,
     bit-identical outputs) and the result carries the kernel-shipping
     ``phase2_transport_stats`` plus the projected ``phase2_makespan_seconds``.
     ``clock`` injects the time source (default :class:`repro.clock.
     SystemClock`); tests inject a ``FakeClock`` to get deterministic timings.
     """
+    options = resolve_runtime_options(
+        options,
+        {
+            "backend": backend,
+            "ml_backend": ml_backend,
+            "nn_backend": nn_backend,
+            "transport": transport,
+            "phase2_workers": phase2_workers,
+        },
+        caller="measure_phases",
+    )
     clock = clock or SystemClock()
     egos = list(dataset.graph.nodes())
     if max_egos is not None:
@@ -137,28 +163,28 @@ def measure_phases(
     if num_workers > 1:
         # Phase I through the shard executor: same division (the executor's
         # core invariant), plus transport accounting for the report below.
-        from repro.core.config import ResilienceConfig
-
         with ShardedDivisionExecutor(
             num_shards=num_shards,
             num_workers=num_workers,
             detector=detector,
-            backend=backend,
-            resilience=ResilienceConfig(transport=transport),
+            backend=options.backend,
+            resilience=options.resolved_resilience()
+            or ResilienceConfig(transport=options.transport),
         ) as executor:
             execution = executor.run(dataset.graph, egos=egos)
         division = execution.division
         transport_stats = execution.transport
     else:
-        division = divide(dataset.graph, egos=egos, detector=detector, backend=backend)
+        division = divide(
+            dataset.graph, egos=egos, detector=detector, backend=options.backend
+        )
     phase1_seconds = clock.perf_counter() - start
 
     builder = FeatureMatrixBuilder(
         dataset.features,
         dataset.interactions,
         k=k,
-        backend=backend,
-        phase2_workers=phase2_workers,
+        options=options,
     )
     communities = list(division.all_communities())
     if communities:
@@ -192,7 +218,7 @@ def measure_phases(
         labels = [index % 3 for index in range(len(communities))]
         start = clock.perf_counter()
         model = GradientBoostedClassifier(
-            num_rounds=gbdt_rounds, num_classes=3, backend=ml_backend
+            num_rounds=gbdt_rounds, num_classes=3, backend=options.ml_backend
         ).fit(design, labels)
         gbdt_fit_seconds = clock.perf_counter() - start
 
@@ -205,7 +231,7 @@ def measure_phases(
         tensor = builder.matrices_as_tensor(communities)
         commcnn_tensor_seconds = clock.perf_counter() - start
 
-        cnn_config = CommCNNConfig(epochs=cnn_epochs, nn_backend=nn_backend)
+        cnn_config = CommCNNConfig(epochs=cnn_epochs, nn_backend=options.nn_backend)
         cnn = build_commcnn_classifier(
             k=k, num_columns=builder.num_columns, num_classes=3, config=cnn_config
         )

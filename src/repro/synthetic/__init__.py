@@ -7,6 +7,7 @@ from repro.synthetic.config import (
     WeChatConfig,
 )
 from repro.synthetic.groups import ChatGroup, GroupCollection, generate_groups
+from repro.synthetic.interactions_gen import sample_interaction_delta
 from repro.synthetic.network import (
     Circle,
     SocialNetworkDataset,
@@ -35,4 +36,5 @@ __all__ = [
     "ExperimentWorkload",
     "make_workload",
     "cached_workload",
+    "sample_interaction_delta",
 ]

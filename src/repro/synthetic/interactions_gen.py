@@ -64,3 +64,22 @@ def _poisson(rate: float, rng: random.Random) -> int:
         k += 1
         product *= rng.random()
     return k
+
+
+def sample_interaction_delta(
+    num_dims: int, rng: random.Random, rate: float = 1.5
+) -> list[float]:
+    """One synthetic interaction-count *delta* vector for replay traffic.
+
+    Draws per-dimension Poisson counts with the same sampler the offline
+    generator uses, so online update streams fired by
+    :func:`repro.serve.replay_traffic` are distributed like the interactions
+    the network was generated with.  At least one dimension is always
+    non-zero — an all-zero delta would be a no-op update.
+    """
+    if num_dims < 1:
+        raise ValueError("num_dims must be >= 1")
+    delta = [float(_poisson(rate, rng)) for _ in range(num_dims)]
+    if not any(delta):
+        delta[rng.randrange(num_dims)] = 1.0
+    return delta

@@ -1,0 +1,31 @@
+"""MP004 fixture: lease owners without the Closeable lifecycle surface."""
+
+
+class ShmLease:
+    """Stand-in for the runtime lease type (the name is what MP004 walks)."""
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "ShmLease":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class LeaseHolder:
+    """Direct owner: holds the lease but offers no release path."""
+
+    def __init__(self, lease: ShmLease | None) -> None:
+        self._lease: ShmLease | None = lease
+
+    def payload(self) -> bytes:
+        return b""
+
+
+class ShardRunner:
+    """Transitive owner: holds a LeaseHolder, still no release path."""
+
+    def __init__(self) -> None:
+        self._holder = LeaseHolder(None)

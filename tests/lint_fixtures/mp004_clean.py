@@ -1,0 +1,44 @@
+"""MP004 fixture: lease owners implementing the Closeable protocol."""
+
+
+class ShmLease:
+    """Stand-in for the runtime lease type (the name is what MP004 walks)."""
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "ShmLease":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class LeaseHolder:
+    """Direct owner with the full lifecycle surface."""
+
+    def __init__(self, lease: ShmLease | None) -> None:
+        self._lease: ShmLease | None = lease
+
+    def close(self) -> None:
+        if self._lease is not None:
+            self._lease.close()
+            self._lease = None
+
+    def __enter__(self) -> "LeaseHolder":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class ShardRunner(LeaseHolder):
+    """Transitive owner inheriting the lifecycle surface from its base."""
+
+    def __init__(self) -> None:
+        super().__init__(None)
+        self._inner = LeaseHolder(None)
+
+    def close(self) -> None:
+        self._inner.close()
+        super().close()

@@ -1,0 +1,24 @@
+"""MP004 fixture: a deliberately lifecycle-free owner, waved through."""
+
+
+class ShmLease:
+    """Stand-in for the runtime lease type (the name is what MP004 walks)."""
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "ShmLease":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class FrozenSnapshot:  # repro-lint: disable=MP004
+    """Read-only view whose lease is owned (and released) by its creator."""
+
+    def __init__(self, lease: ShmLease | None) -> None:
+        self._lease: ShmLease | None = lease
+
+    def payload(self) -> bytes:
+        return b""

@@ -35,7 +35,7 @@ TESTS_DIR = Path(__file__).resolve().parent
 REPO_ROOT = TESTS_DIR.parent
 FIXTURES = "lint_fixtures"
 
-MODULE_RULE_IDS = ["DET001", "DET002", "MP001", "MP002", "MP003",
+MODULE_RULE_IDS = ["DET001", "DET002", "MP001", "MP002", "MP003", "MP004",
                    "NPY001", "NPY002", "NPY003", "NPY004"]
 
 #: rule id -> finding count expected on its ``*_bad.py`` fixture.
@@ -45,6 +45,7 @@ EXPECTED_BAD_HITS = {
     "MP001": 2,    # lambda to submit, nested function to map
     "MP002": 1,    # ShardError
     "MP003": 2,    # unguarded attach, creator with close but no unlink
+    "MP004": 2,    # direct lease owner, transitive holder — both lifecycle-free
     "NPY001": 3,   # wrapping arange, astype, concatenate
     "NPY002": 2,   # two bare .astype calls
     "NPY003": 3,   # dtype=object, dtype="O", dtype=np.object_
@@ -175,7 +176,8 @@ def test_json_reporter_schema():
 def test_rule_catalog_is_complete():
     catalog = {rule.rule_id for rule in all_rules()}
     assert catalog == {"DET001", "DET002", "PAR001", "MP001", "MP002",
-                       "MP003", "NPY001", "NPY002", "NPY003", "NPY004"}
+                       "MP003", "MP004", "NPY001", "NPY002", "NPY003",
+                       "NPY004"}
     for rule in all_rules():
         assert rule.name and rule.description and rule.rationale
 

@@ -1,0 +1,458 @@
+"""Online serving layer: incremental updates, parity, chaos, sessions.
+
+The parity suite asserts the serving layer's core contract:
+``fit(G)`` followed by ``apply_updates(Δ)`` is **bit-identical** to a
+from-scratch ``fit(G + Δ)``.  Baselines are built by *re-running the
+deterministic generator* (identical dict/set insertion history) and
+mutating the fresh inputs the same way — never ``deepcopy``, which rebuilds
+adjacency sets in iteration order and perturbs detector tie-breaks.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.clock import FakeClock
+from repro.core import LoCEC, LoCECConfig
+from repro.core.aggregation import FeatureMatrixBuilder
+from repro.core.combination import community_key
+from repro.exceptions import NotFittedError, PipelineError
+from repro.graph import Graph, InteractionStore, NodeFeatureStore
+from repro.lifecycle import Closeable
+from repro.runtime import Fault, FaultPlan
+from repro.runtime.executor import ShardedDivisionExecutor
+from repro.runtime.phase2_exec import Phase2ShardedRunner
+from repro.serve import ServingSession, StreamingMoments, replay_traffic
+from repro.synthetic import make_workload
+from repro.types import LabeledEdge
+
+
+def _config(detector="label_propagation", phase2_workers=0, model="xgb"):
+    maker = LoCECConfig.locec_xgb if model == "xgb" else LoCECConfig.locec_cnn
+    config = maker(seed=0, community_detector=detector)
+    config.gbdt.num_rounds = 8
+    config.cnn.epochs = 2
+    config.phase2_workers = phase2_workers
+    return config
+
+
+def _fit(config, graph, features, interactions, labeled_edges):
+    return LoCEC(config).fit(graph, features, interactions, labeled_edges)
+
+
+def _choose_deltas(graph, features, interactions):
+    """Deterministic delta batch: one add, one remove, one interaction
+    delta on an already-interacting pair, one feature replacement."""
+    nodes = list(graph.nodes())
+    added = next(
+        (u, v)
+        for i, u in enumerate(nodes)
+        for v in nodes[i + 1 :]
+        if not graph.has_edge(u, v)
+    )
+    removed = next(edge for edge in graph.edges() if edge != added)
+    pair = next(edge for edge, vector in interactions.items() if vector.any())
+    delta = np.full(interactions.num_dims, 2.0)
+    feat_node = nodes[3]
+    new_feat = np.asarray(features.get_view(feat_node)) + 1.0
+    return added, removed, pair, delta, feat_node, new_feat
+
+
+def _apply_to_inputs(graph, features, interactions, deltas):
+    """Mutate pristine inputs the way ``apply_updates`` would."""
+    added, removed, pair, delta, feat_node, new_feat = deltas
+    graph.add_edge(*added)
+    graph.remove_edge(*removed)
+    interactions.set_vector(pair[0], pair[1], interactions.vector(*pair) + delta)
+    features.set(feat_node, new_feat)
+
+
+def _assert_bit_identical(incremental, scratch, query_edges):
+    div_a = incremental.division_.communities_by_ego
+    div_b = scratch.division_.communities_by_ego
+    assert list(div_a) == list(div_b)
+    assert div_a == div_b
+    rv_a = incremental.edge_feature_builder_.result_vectors
+    rv_b = scratch.edge_feature_builder_.result_vectors
+    assert set(rv_a) == set(rv_b)
+    for key in rv_a:
+        assert np.array_equal(rv_a[key], rv_b[key]), key
+    assert np.array_equal(
+        incremental.predict_edge_proba(query_edges),
+        scratch.predict_edge_proba(query_edges),
+    )
+
+
+class TestIncrementalParity:
+    @pytest.mark.parametrize(
+        "detector,phase2_workers",
+        [
+            ("girvan_newman", 0),
+            ("label_propagation", 0),
+            ("louvain", 0),
+            ("label_propagation", 2),
+        ],
+    )
+    def test_apply_updates_matches_scratch_fit(self, detector, phase2_workers):
+        workload = make_workload("tiny", seed=1)
+        dataset = workload.dataset
+        deltas = _choose_deltas(dataset.graph, dataset.features, dataset.interactions)
+        with _fit(
+            _config(detector, phase2_workers),
+            dataset.graph,
+            dataset.features,
+            dataset.interactions,
+            workload.train_edges,
+        ) as incremental:
+            added, removed, pair, delta, feat_node, new_feat = deltas
+            report = incremental.apply_updates(
+                added_edges=[added],
+                removed_edges=[removed],
+                interaction_deltas=[(pair[0], pair[1], delta)],
+                feature_updates=[(feat_node, new_feat)],
+            )
+            assert not report.degraded
+            assert report.num_dirty_egos > 0
+
+            baseline = make_workload("tiny", seed=1)  # identical history
+            _apply_to_inputs(
+                baseline.dataset.graph,
+                baseline.dataset.features,
+                baseline.dataset.interactions,
+                deltas,
+            )
+            with _fit(
+                _config(detector, phase2_workers),
+                baseline.dataset.graph,
+                baseline.dataset.features,
+                baseline.dataset.interactions,
+                baseline.train_edges,
+            ) as scratch:
+                _assert_bit_identical(
+                    incremental, scratch, [item.edge for item in workload.test_edges]
+                )
+
+    def test_apply_updates_matches_scratch_fit_cnn(self):
+        """CommCNN warm path re-scores the full batch — parity must hold."""
+        workload = make_workload("tiny", seed=1)
+        dataset = workload.dataset
+        pair = next(
+            edge for edge, vector in dataset.interactions.items() if vector.any()
+        )
+        delta = np.full(dataset.interactions.num_dims, 3.0)
+        with _fit(
+            _config(model="cnn"),
+            dataset.graph,
+            dataset.features,
+            dataset.interactions,
+            workload.train_edges,
+        ) as incremental:
+            incremental.apply_updates(interaction_deltas=[(pair[0], pair[1], delta)])
+            baseline = make_workload("tiny", seed=1)
+            inter = baseline.dataset.interactions
+            inter.set_vector(pair[0], pair[1], inter.vector(*pair) + delta)
+            with _fit(
+                _config(model="cnn"),
+                baseline.dataset.graph,
+                baseline.dataset.features,
+                inter,
+                baseline.train_edges,
+            ) as scratch:
+                _assert_bit_identical(
+                    incremental, scratch, [item.edge for item in workload.test_edges]
+                )
+
+    def test_apply_updates_matches_scratch_fit_string_labels(self):
+        def relabeled():
+            workload = make_workload("tiny", seed=1)
+            dataset = workload.dataset
+            rename = {node: f"user:{node}" for node in dataset.graph.nodes()}
+            graph = Graph(nodes=(rename[n] for n in dataset.graph.nodes()))
+            for u, v in dataset.graph.edges():
+                graph.add_edge(rename[u], rename[v])
+            features = NodeFeatureStore(dataset.features.feature_names)
+            for node in dataset.features.nodes():
+                features.set(rename[node], np.asarray(dataset.features.get_view(node)))
+            interactions = InteractionStore(num_dims=dataset.interactions.num_dims)
+            for (u, v), vector in dataset.interactions.items():
+                interactions.set_vector(rename[u], rename[v], vector.copy())
+            labeled = [
+                LabeledEdge(rename[item.u], rename[item.v], item.label)
+                for item in workload.train_edges
+            ]
+            queries = [
+                (rename[item.u], rename[item.v]) for item in workload.test_edges
+            ]
+            return graph, features, interactions, labeled, queries
+
+        graph, features, interactions, labeled, queries = relabeled()
+        deltas = _choose_deltas(graph, features, interactions)
+        with _fit(_config(), graph, features, interactions, labeled) as incremental:
+            added, removed, pair, delta, feat_node, new_feat = deltas
+            incremental.apply_updates(
+                added_edges=[added],
+                removed_edges=[removed],
+                interaction_deltas=[(pair[0], pair[1], delta)],
+                feature_updates=[(feat_node, new_feat)],
+            )
+            graph_b, features_b, interactions_b, labeled_b, _ = relabeled()
+            _apply_to_inputs(graph_b, features_b, interactions_b, deltas)
+            with _fit(
+                _config(), graph_b, features_b, interactions_b, labeled_b
+            ) as scratch:
+                _assert_bit_identical(incremental, scratch, queries)
+
+
+@pytest.fixture()
+def fitted_tiny():
+    workload = make_workload("tiny", seed=1)
+    dataset = workload.dataset
+    pipeline = _fit(
+        _config(),
+        dataset.graph,
+        dataset.features,
+        dataset.interactions,
+        workload.train_edges,
+    )
+    yield pipeline, workload
+    pipeline.close()
+
+
+class TestWarmModels:
+    def test_idempotent_readd_skips_rescore_and_refit(self, fitted_tiny):
+        pipeline, workload = fitted_tiny
+        edge = next(workload.dataset.graph.edges())
+        report = pipeline.apply_updates(added_edges=[edge])
+        assert report.num_dirty_egos >= 2
+        assert report.num_redivided_egos == report.num_dirty_egos
+        assert report.num_rescored_communities == 0
+        assert not report.classifier_refit
+        assert report.kernel_patched
+        assert not report.degraded
+
+    def test_interaction_delta_rescores_exactly_dirty_communities(
+        self, fitted_tiny
+    ):
+        pipeline, workload = fitted_tiny
+        graph = workload.dataset.graph
+        division = pipeline.division_
+        pair = next(
+            (u, v)
+            for (u, v), vector in workload.dataset.interactions.items()
+            if vector.any() and graph.neighbors(u) & graph.neighbors(v)
+        )
+        # The dirty-community rule: the ego is never a member of its own
+        # communities, so a delta on (u, v) touches exactly the communities
+        # of the common neighbourhood containing both endpoints.
+        expected = {
+            community_key(community)
+            for ego in graph.neighbors(pair[0]) & graph.neighbors(pair[1])
+            for community in division.communities_of(ego)
+            if pair[0] in community and pair[1] in community
+        }
+        total = sum(1 for _ in division.all_communities())
+        delta = np.full(workload.dataset.interactions.num_dims, 5.0)
+        report = pipeline.apply_updates(
+            interaction_deltas=[(pair[0], pair[1], delta)]
+        )
+        assert report.kernel_patched  # in-place delta compilation
+        if report.classifier_refit:
+            # A dirty community sat in the training set: the GBDT refits and
+            # (for batch-shape parity) everything is re-scored.
+            assert report.num_rescored_communities == total
+        else:
+            assert report.num_rescored_communities == len(expected)
+            assert len(expected) < total
+
+    def test_update_epoch_and_always_fresh_labeler(self, fitted_tiny):
+        pipeline, workload = fitted_tiny
+        labeler_before = pipeline.edge_labeler_
+        epoch_before = pipeline.update_epoch
+        pipeline.apply_updates(added_edges=[next(workload.dataset.graph.edges())])
+        assert pipeline.update_epoch == epoch_before + 1
+        assert pipeline.edge_labeler_ is not labeler_before
+
+    def test_apply_updates_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            LoCEC(_config()).apply_updates(added_edges=[(0, 1)])
+
+
+class TestChaosDegradation:
+    def test_faulted_redivision_serves_stale_then_heals(self, fitted_tiny):
+        pipeline, workload = fitted_tiny
+        edge = next(workload.dataset.graph.edges())
+        queries = [item.edge for item in workload.test_edges[:10]]
+        # Permanent faults are never retried: with on_shard_failure="skip"
+        # every dirty ego degrades to stale service immediately.
+        plan = FaultPlan(
+            [Fault(shard_id=shard, attempt=0, kind="permanent") for shard in range(4)]
+        )
+        with ServingSession(pipeline, clock=FakeClock()) as session:
+            before = session.predict_proba(queries)
+            report = session.apply_updates(added_edges=[edge], fault_plan=plan)
+            assert report.degraded
+            assert set(report.stale_egos) == set(session.stale_egos)
+            assert session.stale_egos
+            assert session.stats.num_degraded_updates == 1
+            # Stale-but-consistent: the previous communities keep serving,
+            # and an idempotent re-add changes no inputs, so the served
+            # probabilities are unchanged bit for bit.
+            after = session.predict_proba(queries)
+            assert np.array_equal(after, before)
+            # A later clean update over the same egos heals the staleness.
+            healed = session.apply_updates(added_edges=[edge])
+            assert not healed.degraded
+            assert not session.stale_egos
+
+    def test_replay_traffic_under_seeded_chaos(self, fitted_tiny):
+        pipeline, _ = fitted_tiny
+        plan = FaultPlan.random(range(4), seed=3, fault_rate=0.8, kinds=("transient",))
+        with ServingSession(pipeline, clock=FakeClock()) as session:
+            report = replay_traffic(
+                session,
+                num_batches=6,
+                queries_per_batch=8,
+                seed=3,
+                fault_plan=plan,
+            )
+        # Recoverable faults: every query answered, nothing left stale.
+        assert report.num_queries == 48
+        assert report.num_updates == 2
+        assert report.num_degraded_updates == 0
+        assert report.stale_egos == ()
+
+
+class TestServingSession:
+    def test_cache_hits_and_version_invalidation(self, fitted_tiny):
+        pipeline, workload = fitted_tiny
+        queries = [item.edge for item in workload.test_edges[:6]]
+        with ServingSession(pipeline, cache_size=64, clock=FakeClock()) as session:
+            first = session.predict_proba(queries)
+            assert session.stats.cache_misses == len(queries)
+            assert session.stats.cache_hits == 0
+            second = session.predict_proba(queries)
+            assert session.stats.cache_hits == len(queries)
+            assert np.array_equal(first, second)
+            # Any update bumps the epoch: every cached row is stale at once.
+            session.apply_updates(
+                added_edges=[next(workload.dataset.graph.edges())]
+            )
+            session.predict_proba(queries)
+            assert session.stats.cache_misses == 2 * len(queries)
+
+    def test_lru_eviction_and_disabled_cache(self, fitted_tiny):
+        pipeline, workload = fitted_tiny
+        e1, e2, e3 = [item.edge for item in workload.test_edges[:3]]
+        with ServingSession(pipeline, cache_size=2, clock=FakeClock()) as session:
+            for edge in (e1, e2, e3):  # e3 evicts e1 (LRU)
+                session.predict_proba([edge])
+            session.predict_proba([e3])
+            assert session.stats.cache_hits == 1
+            session.predict_proba([e1])
+            assert session.stats.cache_misses == 4
+        with ServingSession(pipeline, cache_size=0, clock=FakeClock()) as session:
+            session.predict_proba([e1])
+            session.predict_proba([e1])
+            assert session.stats.cache_hits == 0
+
+    def test_predict_edges_and_empty_batch(self, fitted_tiny):
+        pipeline, workload = fitted_tiny
+        queries = [item.edge for item in workload.test_edges[:4]]
+        with ServingSession(pipeline, clock=FakeClock()) as session:
+            labels = session.predict_edges(queries)
+            proba = session.predict_proba(queries)
+            assert [int(label) for label in labels] == list(
+                np.argmax(proba, axis=1)
+            )
+            empty = session.predict_proba([])
+            assert empty.shape == (0, proba.shape[1])
+
+    def test_lifecycle_and_validation(self, fitted_tiny):
+        pipeline, workload = fitted_tiny
+        session = ServingSession(pipeline, clock=FakeClock())
+        session.close()
+        session.close()  # idempotent
+        with pytest.raises(PipelineError):
+            session.predict_proba([next(workload.dataset.graph.edges())])
+        with pytest.raises(PipelineError):
+            ServingSession(pipeline, cache_size=-1)
+        with pytest.raises(NotFittedError):
+            ServingSession(LoCEC(_config()))
+
+    def test_replay_counts_are_deterministic(self, fitted_tiny):
+        pipeline, _ = fitted_tiny
+
+        def run_replay(p):
+            with ServingSession(p, clock=FakeClock()) as session:
+                return replay_traffic(
+                    session, num_batches=5, queries_per_batch=7, seed=11
+                )
+
+        workload = make_workload("tiny", seed=1)
+        other = _fit(
+            _config(),
+            workload.dataset.graph,
+            workload.dataset.features,
+            workload.dataset.interactions,
+            workload.train_edges,
+        )
+        try:
+            first, second = run_replay(pipeline), run_replay(other)
+        finally:
+            other.close()
+        for field in (
+            "num_batches",
+            "num_queries",
+            "num_updates",
+            "num_degraded_updates",
+            "num_structural_updates",
+            "stale_egos",
+        ):
+            assert getattr(first, field) == getattr(second, field)
+
+
+class TestStreamingMoments:
+    def test_welford_matches_batch_statistics(self):
+        values = [0.1, 0.5, 0.2, 0.9, 0.4, 0.7, 0.3]
+        moments = StreamingMoments()
+        for value in values:
+            moments.add(value)
+        assert moments.count == len(values)
+        assert moments.mean == pytest.approx(statistics.fmean(values))
+        assert moments.std == pytest.approx(statistics.stdev(values))
+
+    def test_percentiles(self):
+        empty = StreamingMoments()
+        assert empty.percentile(0.95) == 0.0
+        constant = StreamingMoments()
+        for _ in range(5):
+            constant.add(2.5)
+        assert constant.percentile(0.99) == 2.5
+        spread = StreamingMoments()
+        for value in (0.1, 0.4, 0.9, 1.6):
+            spread.add(value)
+        assert (
+            spread.percentile(0.50)
+            < spread.percentile(0.95)
+            < spread.percentile(0.99)
+        )
+        with pytest.raises(ValueError):
+            spread.percentile(1.0)
+        summary = spread.summary()
+        assert set(summary) == {"count", "mean", "std", "p50", "p95", "p99"}
+
+
+def test_lease_owners_conform_to_closeable_protocol():
+    # MP004's runtime counterpart: every class owning an ShmLease (directly
+    # or through an owning resource) satisfies the structural protocol.
+    for owner in (
+        ShardedDivisionExecutor,
+        FeatureMatrixBuilder,
+        Phase2ShardedRunner,
+        ServingSession,
+        LoCEC,
+    ):
+        assert issubclass(owner, Closeable), owner.__name__
